@@ -1,0 +1,63 @@
+"""Shared benchmark-harness configuration.
+
+Every file in benchmarks/ regenerates one of the paper's tables or
+figures (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+measured-vs-paper comparison).  They run the real simulator, print the
+table/series the paper reports, and assert the result *shape*.
+
+Scale is controlled by the REPRO_BENCH_PROFILE environment variable:
+
+* ``quick`` (default): runs sized for a few minutes total.
+* ``full``: longer runs and more seeds for tighter error bars.
+
+All benches use ``benchmark.pedantic(..., rounds=1)`` — the experiment is
+the measurement; repeating a multi-second full-system simulation for
+statistical timing would conflate simulator wall-time with the paper's
+simulated-cycle metrics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    name: str
+    warmup_instructions: int
+    measure_instructions: int
+    seeds: List[int]
+    scale: int = 16           # machine + workload scaling factor
+    max_cycles: int = 30_000_000
+
+
+def current_profile() -> BenchProfile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    if name == "full":
+        return BenchProfile(
+            name="full",
+            warmup_instructions=15_000,
+            measure_instructions=30_000,
+            seeds=[1, 2, 3, 4, 5],
+        )
+    return BenchProfile(
+        name="quick",
+        warmup_instructions=4_000,
+        measure_instructions=8_000,
+        seeds=[1, 2],
+    )
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    return current_profile()
+
+
+def run_once(experiment, benchmark):
+    """Run ``experiment`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1,
+                              warmup_rounds=0)

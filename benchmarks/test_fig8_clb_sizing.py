@@ -1,0 +1,108 @@
+"""Figure 8 — Performance vs. CLB size.
+
+The paper runs all five workloads with 1 MB, 512 kB, and 256 kB CLBs (the
+text adds that 128 kB degrades everything): 512 kB and 1 MB perform
+equally, 256 kB degrades jbb and apache first.  The scaled equivalent
+keeps the same ratios to the scaled checkpoint interval.  Degradation
+appears as CLB backpressure: store throttling, NACKs, and in the extreme
+watchdog recoveries.
+"""
+
+from repro.analysis import ascii_bar_chart, format_table
+from repro.config import SystemConfig
+from repro.system.machine import Machine
+from repro.workloads import WORKLOAD_NAMES, by_name
+
+from benchmarks.conftest import run_once
+
+# Scaled analogue of the paper's sweep.  The sim_scaled default (512k/16 =
+# 32 kB = 455 entries) plays the paper's 512 kB design point.  Our sweep
+# goes deeper than the paper's 1/2 and 1/4 points because the synthetic
+# workloads have thinner logging-rate tails than full commercial runs —
+# the knee sits at a smaller fraction of the design size, but it is the
+# same knee (see EXPERIMENTS.md).
+SIZES = {
+    "2x design": 2 * (512 * 1024 // 16),
+    "design (512kB-eq)": 512 * 1024 // 16,
+    "1/8 design": 512 * 1024 // 128,
+    "1/16 design": 512 * 1024 // 256,
+}
+
+
+def run_point(name: str, clb_bytes: int, profile):
+    # The livelock guard is disabled: undersized CLBs should *degrade*
+    # (stalls, NACKs, watchdog recoveries), never convert to a crash —
+    # that is the paper's "sized for performance, not correctness".
+    cfg = SystemConfig.sim_scaled(
+        profile.scale, clb_size_bytes=clb_bytes, max_recoveries=10**9
+    )
+    machine = Machine(cfg, by_name(name, num_cpus=16, scale=profile.scale,
+                                   seed=1), seed=1)
+    result = machine.run_with_warmup(
+        profile.warmup_instructions, profile.measure_instructions,
+        max_cycles=min(profile.max_cycles, 8_000_000),
+    )
+    backpressure = (
+        machine.stats.sum_counters(".store_throttles")
+        + machine.stats.sum_counters(".nacks_sent")
+        + machine.stats.sum_counters(".fwd_clb_stalls")
+    )
+    return result, backpressure
+
+
+def work_rate(result) -> float:
+    """Committed instructions per cycle — defined even for runs that were
+    still limping along when the cycle budget expired."""
+    if result.crashed or result.cycles == 0:
+        return 0.0
+    return result.committed_instructions / result.cycles
+
+
+def test_fig8_performance_vs_clb_size(benchmark, profile):
+    def experiment():
+        out = {}
+        for name in WORKLOAD_NAMES:
+            out[name] = {
+                label: run_point(name, size, profile)
+                for label, size in SIZES.items()
+            }
+        return out
+
+    data = run_once(experiment, benchmark)
+
+    print("\nFIGURE 8 — normalized performance vs CLB size "
+          "(1.0 = largest CLB)")
+    rows = []
+    normalized = {}
+    for name in WORKLOAD_NAMES:
+        base_rate = work_rate(data[name]["2x design"][0])
+        normalized[name] = {}
+        for label in SIZES:
+            result, backpressure = data[name][label]
+            perf = work_rate(result) / base_rate if base_rate else 0.0
+            normalized[name][label] = perf
+            rows.append((name, label, f"{perf:.3f}", backpressure,
+                         result.recoveries))
+    print(format_table(
+        ["workload", "CLB size", "normalized perf", "backpressure events",
+         "recoveries"],
+        rows,
+    ))
+
+    for name in WORKLOAD_NAMES:
+        # Design-size CLBs are performance-neutral vs. double-size
+        # (the paper: 512 kB and 1 MB statistically equivalent).
+        assert normalized[name]["design (512kB-eq)"] > 0.95, (
+            name, normalized[name])
+        # Small CLBs never beat the design size meaningfully.
+        assert (normalized[name]["1/16 design"]
+                <= normalized[name]["design (512kB-eq)"] * 1.05), name
+    # Some workload degrades measurably at the small end (the paper: all
+    # workloads degrade at 128 kB; jbb/apache already at 256 kB).
+    worst = min(normalized[name]["1/16 design"] for name in WORKLOAD_NAMES)
+    assert worst < 0.97, f"small CLBs never hurt anyone: {normalized}"
+    # jbb is among the most CLB-hungry (allocation streaming): bottom three.
+    jbb_small = normalized["jbb"]["1/16 design"]
+    assert jbb_small <= sorted(
+        normalized[n]["1/16 design"] for n in WORKLOAD_NAMES
+    )[2], normalized

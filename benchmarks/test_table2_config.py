@@ -1,0 +1,52 @@
+"""Table 2 — target system parameters.
+
+Regenerates the paper's Table 2 from the `paper()` preset and prints the
+scaled preset the other benches run on, with the scaling ratios.
+"""
+
+from repro.analysis import format_table
+from repro.config import SystemConfig
+
+from benchmarks.conftest import run_once
+
+
+PAPER_TABLE2 = {
+    "L1 Cache (I and D)": "128 KB, 4-way set associative",
+    "L2 Cache": "4 MB, 4-way set-associative",
+    "Memory": "2 GB, 64 byte blocks",
+    "Checkpoint Log Buffer": "512 kbytes total, 72 byte entries",
+}
+
+
+def test_table2_target_system_parameters(benchmark, profile):
+    def experiment():
+        paper = SystemConfig.paper()
+        scaled = SystemConfig.sim_scaled(profile.scale)
+        return paper, scaled
+
+    paper, scaled = run_once(experiment, benchmark)
+
+    rows = [
+        (key, paper.table2()[key], scaled.table2().get(key, "-"))
+        for key in paper.table2()
+    ]
+    print()
+    print(format_table(
+        ["Parameter", "Paper (Table 2)", f"Scaled 1/{profile.scale} (benches)"],
+        rows,
+        title="TABLE 2 — Target System Parameters",
+    ))
+
+    # The paper preset reproduces Table 2 exactly.
+    for key, expected in PAPER_TABLE2.items():
+        assert paper.table2()[key] == expected, key
+    assert "100,000 cycles" in paper.table2()["Checkpoint Interval"]
+    # 180ns two-hop miss (Table 2): our latency model lands nearby.
+    assert 150 <= paper.uncontended_2hop_latency() <= 210
+    # Detection tolerance quoted in S3.4: 4 x 100k = 400k cycles.
+    assert paper.detection_latency_tolerance == 400_000
+    # Scaling preserves the CLB-entries-to-interval ratio within ~2x (the
+    # interval scales 1/8 while the CLB scales 1/16, so the ratio is 0.5).
+    paper_ratio = paper.clb_entries / paper.checkpoint_interval
+    scaled_ratio = scaled.clb_entries / scaled.checkpoint_interval
+    assert 0.4 <= scaled_ratio / paper_ratio <= 2.5

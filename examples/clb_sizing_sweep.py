@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""How big do Checkpoint Log Buffers need to be?  (Paper §4.3, Fig. 8.)
+
+Sweeps CLB capacity for one workload and shows runtime plus the
+backpressure mechanisms that kick in when the CLB is too small: CPU store
+throttling and NACKed coherence requests.
+
+Run:  python examples/clb_sizing_sweep.py
+"""
+
+from repro import Machine, SystemConfig, workloads
+from repro.analysis import format_table
+
+# jbb's allocation-streaming stores pressure the CLB hardest (the paper's
+# Fig. 8 shows jbb degrading first as CLBs shrink).  The sweep dives well
+# below the design size to expose the knee (scaled synthetic workloads
+# have thinner logging tails than the paper's commercial runs).
+SIZES = [72 * 4096, 72 * 96, 72 * 48, 72 * 40]
+
+
+def main() -> None:
+    rows = []
+    base_rate = None
+    for size in SIZES:
+        config = SystemConfig.sim_scaled(16, clb_size_bytes=size,
+                                         max_recoveries=10**9)
+        workload = workloads.jbb(num_cpus=16, scale=16, seed=4)
+        machine = Machine(config, workload, seed=4)
+        result = machine.run(instructions_per_cpu=12_000, max_cycles=5_000_000)
+        rate = (result.committed_instructions / result.cycles
+                if result.cycles else 0.0)
+        if base_rate is None:
+            base_rate = rate
+        stats = machine.stats
+        rows.append((
+            f"{size // 1024} kB ({size // 72} entries)",
+            f"{rate / base_rate:.3f}",
+            stats.sum_counters(".store_throttles"),
+            stats.sum_counters(".nacks_sent"),
+            result.recoveries,
+            max(n.cache_clb.peak_occupancy for n in machine.nodes),
+        ))
+    print(format_table(
+        ["CLB size", "normalized perf", "store throttles", "NACKs",
+         "recoveries", "peak entries"],
+        rows,
+        title="CLB sizing sweep, jbb workload (cf. paper Fig. 8)",
+    ))
+    print("\nCLBs are sized for performance, not correctness: small CLBs "
+          "throttle and NACK but never corrupt state (paper §3.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Tolerating long fault-detection latencies (paper §2.4, §3.4).
+
+SafetyNet's pipelined validation is what lets it use strong-but-slow
+detection: long CRCs, signature checks, request timeouts.  With 4
+outstanding checkpoints at a 100k-cycle interval the paper tolerates
+400k-cycle detection latency.  This demo sweeps the detection latency and
+shows that runtime barely moves while the recovery point simply lags
+further behind execution — until the latency exceeds the
+outstanding-checkpoint window and the machine begins to throttle.
+
+Run:  python examples/detection_latency_demo.py
+"""
+
+from repro import Machine, SystemConfig, workloads
+from repro.analysis import format_table
+
+
+def main() -> None:
+    config = SystemConfig.sim_scaled(16)
+    interval = config.checkpoint_interval
+    window = config.outstanding_checkpoints
+    print(f"checkpoint interval: {interval:,} cycles; "
+          f"outstanding checkpoints: {window} "
+          f"(tolerance = {config.detection_latency_tolerance:,} cycles)\n")
+
+    rows = []
+    base = None
+    for latency_intervals in [0, 1, 2, 4, 8]:
+        latency = latency_intervals * interval
+        workload = workloads.apache(num_cpus=16, scale=16, seed=6)
+        machine = Machine(config, workload, seed=6, detection_latency=latency)
+        result = machine.run(instructions_per_cpu=12_000, max_cycles=8_000_000)
+        if base is None:
+            base = result.cycles
+        lag = max(machine.clock.ccn(n) for n in range(16)) - machine.controllers.rpcn
+        throttle = machine.stats.sum_counters(".outstanding_ckpt_stalls")
+        rows.append((
+            f"{latency_intervals} intervals ({latency:,} cy)",
+            f"{base / result.cycles:.3f}",
+            lag,
+            throttle,
+        ))
+    print(format_table(
+        ["detection latency", "normalized perf", "final RPCN lag",
+         "throttle events"],
+        rows,
+        title="Detection-latency tolerance (validation is pipelined)",
+    ))
+    print("\nUp to the outstanding-checkpoint window, slow detectors cost "
+          "lag, not throughput; past it, execution throttles (paper §3.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so editable installs work on environments without `wheel`
+(pip's PEP 660 editable path needs bdist_wheel; `python setup.py develop`
+does not). Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

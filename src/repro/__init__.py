@@ -1,0 +1,47 @@
+"""repro - a reproduction of SafetyNet (Sorin, Martin, Hill, Wood; ISCA 2002).
+
+SafetyNet improves shared-memory multiprocessor availability with a
+unified, lightweight global checkpoint/recovery mechanism: consistent
+system-wide checkpoints coordinated in logical time, incremental
+checkpointing via once-per-interval undo logging into Checkpoint Log
+Buffers, pipelined background validation that tolerates long fault
+detection latencies, and whole-machine rollback + re-execution on faults.
+
+Quick start::
+
+    from repro import Machine, SystemConfig, workloads
+
+    cfg = SystemConfig.sim_scaled()
+    machine = Machine(cfg, workloads.apache(num_cpus=16, scale=16), seed=1)
+    machine.inject_transient_faults(period=60_000)
+    result = machine.run(instructions_per_cpu=20_000)
+    assert not result.crashed          # SafetyNet survives the faults
+    print(machine.recovery.stats)
+
+Package layout (see DESIGN.md for the full inventory):
+
+* ``repro.core`` - SafetyNet itself (CLBs, checkpoint clock, validation,
+  recovery, output/input commit);
+* ``repro.coherence`` - the MOSI directory protocol substrate;
+* ``repro.interconnect`` - the half-switch 2D torus with fault injection;
+* ``repro.processor`` / ``repro.workloads`` - cores and Table 3 workloads;
+* ``repro.system`` - node/machine assembly and fault campaigns;
+* ``repro.analysis`` - multi-seed aggregation and chart/table rendering.
+"""
+
+from repro.config import SystemConfig
+from repro.system.machine import Machine, RunResult
+from repro.system.faults import hard_fault_campaign, transient_fault_campaign
+from repro import workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "Machine",
+    "RunResult",
+    "transient_fault_campaign",
+    "hard_fault_campaign",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Plain-text rendering for benchmark output (tables and bar charts)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    crashes: Optional[Sequence[str]] = None,
+) -> str:
+    """Render labelled horizontal bars (crash labels render as 'CRASH')."""
+    crash_set = set(crashes or ())
+    numeric = {k: v for k, v in values.items() if k not in crash_set}
+    peak = max(numeric.values(), default=1.0) or 1.0
+    label_w = max((len(k) for k in values), default=4)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        if label in crash_set:
+            lines.append(f"{label.ljust(label_w)} | CRASH")
+            continue
+        n = int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)} | {'#' * n} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Command-line interface: run SafetyNet experiments without writing code.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro run --workload oltp --instructions 20000
+    python -m repro run --workload apache --fault transient --period 60000
+    python -m repro run --workload jbb --fault switch --unprotected
+    python -m repro character                 # Table 3 workload summary
+    python -m repro config [--paper]          # Table 2 parameters
+
+Exit code 0 means the run completed (or, with --unprotected and a fault,
+crashed as expected); 1 flags an unexpected outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.config import SystemConfig
+from repro.detection.codes import CRC16
+from repro.system.machine import Machine
+from repro.workloads import WORKLOAD_NAMES, by_name, workload_character
+
+FAULTS = ["none", "transient", "switch", "corrupt", "misroute"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SafetyNet (ISCA 2002) reproduction: run the simulated "
+                    "multiprocessor with or without checkpoint/recovery.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("--workload", choices=WORKLOAD_NAMES, default="apache")
+    run.add_argument("--instructions", type=int, default=15_000,
+                     help="instructions per CPU (measured phase)")
+    run.add_argument("--warmup", type=int, default=5_000,
+                     help="warmup instructions per CPU (0 = none)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--scale", type=int, default=16,
+                     help="divide the paper's sizes by this factor")
+    run.add_argument("--fault", choices=FAULTS, default="none")
+    run.add_argument("--period", type=int, default=60_000,
+                     help="cycles between transient faults")
+    run.add_argument("--fault-at", type=int, default=None,
+                     help="cycle of the first/only fault")
+    run.add_argument("--unprotected", action="store_true",
+                     help="disable SafetyNet (the paper's baseline)")
+    run.add_argument("--interval", type=int, default=None,
+                     help="override the checkpoint interval (cycles)")
+    run.add_argument("--clb-kb", type=int, default=None,
+                     help="override CLB size (kB per controller)")
+    run.add_argument("--max-cycles", type=int, default=30_000_000)
+
+    sub.add_parser("character", help="print Table 3 workload character")
+
+    config = sub.add_parser("config", help="print Table 2 parameters")
+    config.add_argument("--paper", action="store_true",
+                        help="full-scale paper parameters instead of scaled")
+    config.add_argument("--scale", type=int, default=16)
+    return parser
+
+
+def _build_machine(args) -> Machine:
+    overrides = {}
+    if args.unprotected:
+        overrides["safetynet_enabled"] = False
+    if args.interval is not None:
+        overrides["checkpoint_interval"] = args.interval
+    if args.clb_kb is not None:
+        overrides["clb_size_bytes"] = args.clb_kb * 1024
+    config = SystemConfig.sim_scaled(args.scale, **overrides)
+    workload = by_name(args.workload, num_cpus=config.num_processors,
+                       scale=args.scale, seed=args.seed)
+    needs_checker = args.fault in ("corrupt", "misroute")
+    machine = Machine(config, workload, seed=args.seed,
+                      error_code=CRC16 if needs_checker else None)
+    first = args.fault_at
+    if args.fault == "transient":
+        machine.inject_transient_faults(args.period, first_at=first)
+    elif args.fault == "switch":
+        machine.inject_switch_kill(at_cycle=first if first is not None else 50_000)
+    elif args.fault == "corrupt":
+        machine.inject_corruption_faults(args.period, first_at=first)
+    elif args.fault == "misroute":
+        machine.inject_misroute_faults(args.period, first_at=first)
+    return machine
+
+
+def cmd_run(args, out) -> int:
+    machine = _build_machine(args)
+    if args.warmup > 0:
+        result = machine.run_with_warmup(args.warmup, args.instructions,
+                                         max_cycles=args.max_cycles)
+    else:
+        result = machine.run(args.instructions, max_cycles=args.max_cycles)
+
+    if result.crashed:
+        print(f"CRASH: {result.crash_reason}", file=out)
+        # An unprotected machine crashing under a fault is the expected
+        # baseline outcome, not a tool failure.
+        return 0 if (args.unprotected and args.fault != "none") else 1
+
+    rows = [
+        ("workload", args.workload),
+        ("completed", result.completed),
+        ("cycles", f"{result.cycles:,}"),
+        ("committed instructions", f"{result.committed_instructions:,}"),
+        ("system IPC",
+         f"{result.committed_instructions / result.cycles:.3f}"
+         if result.cycles else "-"),
+        ("recoveries", result.recoveries),
+        ("instructions re-executed", f"{result.lost_instructions:,}"),
+        ("recovery point (RPCN)", machine.controllers.rpcn),
+        ("peak cache-CLB entries",
+         max(n.cache_clb.peak_occupancy for n in machine.nodes)),
+        ("peak home-CLB entries",
+         max(n.home_clb.peak_occupancy for n in machine.nodes)),
+    ]
+    if machine.recovery.stats.reconfigurations:
+        rows.append(("rerouted around", str(machine.topology.dead_switches)))
+    print(format_table(["metric", "value"], rows,
+                       title=f"SafetyNet run ({'unprotected' if args.unprotected else 'protected'}, "
+                             f"fault={args.fault})"), file=out)
+    machine.check_coherence_invariants()
+    return 0 if result.completed else 1
+
+
+def cmd_character(args, out) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        wl = by_name(name, num_cpus=4, scale=16, seed=1)
+        c = workload_character(wl, cpus=2, ops_per_cpu=15_000,
+                               window_instructions=25_000)
+        rows.append((
+            name,
+            f"{c['memops_per_1000']:.0f}",
+            f"{c['stores_per_1000']:.0f}",
+            f"{c['shared_frac_of_memops']:.2f}",
+            f"{c['distinct_stored_blocks_per_window']:.0f}",
+        ))
+    print(format_table(
+        ["workload", "memops/1k", "stores/1k", "shared frac",
+         "distinct stored blocks/window"],
+        rows, title="Workload character (Table 3 substitutes)"), file=out)
+    return 0
+
+
+def cmd_config(args, out) -> int:
+    cfg = SystemConfig.paper() if args.paper else SystemConfig.sim_scaled(args.scale)
+    title = "Table 2 (paper scale)" if args.paper else \
+        f"Table 2 (scaled 1/{args.scale})"
+    print(format_table(["parameter", "value"], list(cfg.table2().items()),
+                       title=title), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "character":
+        return cmd_character(args, out)
+    return cmd_config(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

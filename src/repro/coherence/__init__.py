@@ -1,0 +1,34 @@
+"""MOSI directory cache-coherence protocol (SGI-Origin-like).
+
+The paper layers SafetyNet on "a typical MOSI directory protocol" with
+three changes (paper §3.7): data responses carry the checkpoint number of
+the transaction's point of atomicity, directories and processors may NACK
+requests to avoid filling a CLB, and three-hop transactions end with a
+final acknowledgment from the requestor to the directory.
+
+The home directory here is *blocking*: it serialises transactions per
+block, queueing (bounded) or NACKing requests that arrive while a
+transaction is open.  This is the same class of simplification the
+Origin's busy states make, and it keeps every race window closed enough
+to verify recovery consistency exactly.
+"""
+
+from repro.coherence.state import (
+    CacheBlock,
+    CacheState,
+    DirEntry,
+    MEMORY_OWNER,
+    ProtocolError,
+)
+from repro.coherence.cache import CacheController
+from repro.coherence.directory import MemoryController
+
+__all__ = [
+    "CacheBlock",
+    "CacheState",
+    "DirEntry",
+    "MEMORY_OWNER",
+    "ProtocolError",
+    "CacheController",
+    "MemoryController",
+]

@@ -1,0 +1,417 @@
+"""Home memory/directory controller with SafetyNet support.
+
+Each node is the home for an interleaved slice of physical memory.  The
+home serialises coherence transactions per block (busy + bounded queue +
+NACK), logs every memory-value and ownership change into its CLB under the
+once-per-interval rule, and — for three-hop transactions — keeps the log
+entry *provisional* until the requestor's FINAL_ACK reveals the true point
+of atomicity, then retags it (paper §2.3/§3.7: the final acknowledgment
+informs the directory of the transaction's point of atomicity; home-side
+and owner-side undo records must share that interval or recovery would
+leave the directory and the caches disagreeing about ownership).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.coherence.state import DirEntry, MEMORY_OWNER, ProtocolError
+from repro.core.clb import CheckpointLogBuffer, LogEntry
+from repro.interconnect.messages import Message, MessageKind
+from repro.interconnect.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class _BusyTxn:
+    """An open transaction at the home (blocking-per-block window)."""
+
+    __slots__ = ("txn_id", "requestor", "kind", "log_entry", "start_interval")
+
+    def __init__(self, txn_id: int, requestor: int, kind: MessageKind,
+                 start_interval: int) -> None:
+        self.txn_id = txn_id
+        self.requestor = requestor
+        self.kind = kind
+        self.log_entry: Optional[LogEntry] = None  # provisional (3-hop only)
+        self.start_interval = start_interval
+
+
+class MemoryController:
+    """One node's share of memory plus its directory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        config: SystemConfig,
+        network: Network,
+        clb: CheckpointLogBuffer,
+        stats: StatsRegistry,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.network = network
+        self.clb = clb
+        self.stats = stats
+
+        self.ccn = 1
+        self.rpcn = 1
+        self.epoch = 0
+
+        self.values: Dict[int, int] = {}        # sparse; absent -> 0
+        self.block_cn: Dict[int, int] = {}      # sparse; absent -> null CN
+        self.directory: Dict[int, DirEntry] = {}
+        self.busy: Dict[int, _BusyTxn] = {}
+        self.queues: Dict[int, Deque[Message]] = {}
+
+        ns = f"node{node_id}.home"
+        self.c_requests = stats.counter(f"{ns}.requests")
+        self.c_data_served = stats.counter(f"{ns}.data_served")
+        self.c_forwards = stats.counter(f"{ns}.forwards")
+        self.c_transfers_logged = stats.counter(f"{ns}.transfers_logged")
+        self.c_writebacks = stats.counter(f"{ns}.writebacks")
+        self.c_stale_writebacks = stats.counter(f"{ns}.stale_writebacks")
+        self.c_nacks_sent = stats.counter(f"{ns}.nacks_sent")
+        self.c_retags = stats.counter(f"{ns}.retags")
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    def dir_entry(self, addr: int) -> DirEntry:
+        entry = self.directory.get(addr)
+        if entry is None:
+            entry = DirEntry()
+            self.directory[addr] = entry
+        return entry
+
+    def value_of(self, addr: int) -> int:
+        return self.values.get(addr, 0)
+
+    def _needs_log(self, addr: int, tag: int) -> bool:
+        if not self.config.safetynet_enabled:
+            return False
+        cn = self.block_cn.get(addr)
+        return cn is None or tag >= cn
+
+    def _log_home(self, addr: int, tag: int, force: bool = False) -> Optional[LogEntry]:
+        """Log the pre-action (value, owner, sharers, cn) under the
+        once-per-interval rule.  Returns the entry if one was created.
+
+        ``force`` bypasses the filter.  Three-hop transfers must always log:
+        their entries are retagged forward to the point of atomicity, so a
+        later transfer in the same home interval cannot rely on the earlier
+        entry to cover its pre-state (the earlier entry may land in a later
+        segment than the interval the filter reasoned about).
+        """
+        if not self.config.safetynet_enabled:
+            return None
+        if not force and not self._needs_log(addr, tag):
+            return None
+        entry_state = self.dir_entry(addr)
+        payload = (
+            self.value_of(addr),
+            entry_state.owner,
+            frozenset(entry_state.sharers),
+            self.block_cn.get(addr),
+        )
+        entry = self.clb.append(tag, addr, payload)
+        self.c_transfers_logged.add()
+        self.block_cn[addr] = tag + 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind in (MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM):
+            self._accept_request(msg)
+        elif kind == MessageKind.FINAL_ACK:
+            self._on_final_ack(msg)
+        else:
+            raise ProtocolError(f"home got unexpected {msg}")
+
+    def _accept_request(self, msg: Message) -> None:
+        self.c_requests.add()
+        addr = msg.addr
+        if addr in self.busy:
+            queue = self.queues.setdefault(addr, deque())
+            if len(queue) >= self.config.home_queue_depth:
+                self.c_nacks_sent.add()
+                self.network.send(
+                    Message(MessageKind.NACK, src=self.node_id, dst=msg.src,
+                            addr=addr, txn_id=msg.txn_id)
+                )
+                return
+            queue.append(msg)
+            return
+        self._process(msg)
+
+    def _process(self, msg: Message) -> None:
+        if msg.kind == MessageKind.GETS:
+            self._process_gets(msg)
+        elif msg.kind == MessageKind.GETM:
+            self._process_getm(msg)
+        else:
+            self._process_putm(msg)
+
+    def _pop_queue(self, addr: int) -> None:
+        queue = self.queues.get(addr)
+        if queue:
+            nxt = queue.popleft()
+            if not queue:
+                del self.queues[addr]
+            self._process(nxt)
+
+    # ------------------------------------------------------------------
+    # GETS
+    # ------------------------------------------------------------------
+    def _process_gets(self, msg: Message) -> None:
+        addr, requestor = msg.addr, msg.src
+        entry = self.dir_entry(addr)
+        txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
+        self.busy[addr] = txn
+        if entry.owner is MEMORY_OWNER:
+            entry.sharers.add(requestor)
+            epoch = self.epoch
+            self.sim.schedule_after(
+                self.config.memory_latency,
+                lambda: epoch == self.epoch and self._send_data_s(addr, requestor, msg.txn_id),
+                "home.mem_read",
+            )
+        else:
+            owner = entry.owner
+            entry.sharers.add(requestor)
+            self.c_forwards.add()
+            epoch = self.epoch
+            self.sim.schedule_after(
+                self.config.directory_latency,
+                lambda: epoch == self.epoch and self.network.send(
+                    Message(MessageKind.FWD_GETS, src=self.node_id, dst=owner,
+                            addr=addr, txn_id=msg.txn_id,
+                            payload={"requestor": requestor})
+                ),
+                "home.forward",
+            )
+
+    def _send_data_s(self, addr: int, requestor: int, txn_id: int) -> None:
+        self.c_data_served.add()
+        self.network.send(
+            Message(MessageKind.DATA, src=self.node_id, dst=requestor,
+                    addr=addr, txn_id=txn_id, data=self.value_of(addr),
+                    cn=self.block_cn.get(addr), grant="S")
+        )
+
+    # ------------------------------------------------------------------
+    # GETM
+    # ------------------------------------------------------------------
+    def _process_getm(self, msg: Message) -> None:
+        addr, requestor = msg.addr, msg.src
+        entry = self.dir_entry(addr)
+        if entry.owner == requestor:
+            self._process_upgrade(msg, entry)
+            return
+        txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
+        invalidatees = entry.sharers - {requestor}
+        if entry.owner is MEMORY_OWNER:
+            # Two-hop: the point of atomicity is here, now (home CCN).
+            if self._needs_log(addr, self.ccn) and self.clb.is_full():
+                self.c_nacks_sent.add()
+                self.network.send(
+                    Message(MessageKind.NACK, src=self.node_id, dst=requestor,
+                            addr=addr, txn_id=msg.txn_id)
+                )
+                return
+            self.busy[addr] = txn
+            if self.config.safetynet_enabled:
+                self._log_home(addr, self.ccn)
+                out_cn = self.ccn + 1
+                self.block_cn[addr] = max(self.block_cn.get(addr) or 0, out_cn)
+            else:
+                out_cn = None
+            entry.owner = requestor
+            entry.sharers = set()
+            self._send_invs(addr, invalidatees, requestor, msg.txn_id)
+            epoch = self.epoch
+            acks = len(invalidatees)
+            self.sim.schedule_after(
+                self.config.memory_latency,
+                lambda: epoch == self.epoch and self.network.send(
+                    Message(MessageKind.DATA, src=self.node_id, dst=requestor,
+                            addr=addr, txn_id=msg.txn_id, data=self.value_of(addr),
+                            cn=out_cn, grant="M", ack_count=acks)
+                ),
+                "home.mem_read",
+            )
+        else:
+            # Three-hop: atomicity is at the owner; log provisionally (always
+            # — see _log_home) and retag when the FINAL_ACK tells us the truth.
+            if self.clb.is_full():
+                self.c_nacks_sent.add()
+                self.network.send(
+                    Message(MessageKind.NACK, src=self.node_id, dst=requestor,
+                            addr=addr, txn_id=msg.txn_id)
+                )
+                return
+            self.busy[addr] = txn
+            owner = entry.owner
+            provisional_tag = self.ccn
+            known_cn = self.block_cn.get(addr)
+            if known_cn is not None and known_cn - 1 > provisional_tag:
+                provisional_tag = known_cn - 1
+            txn.log_entry = self._log_home(addr, provisional_tag, force=True)
+            entry.owner = requestor
+            entry.sharers = set()
+            invalidatees.discard(owner)
+            self._send_invs(addr, invalidatees, requestor, msg.txn_id)
+            self.c_forwards.add()
+            epoch = self.epoch
+            acks = len(invalidatees)
+            self.sim.schedule_after(
+                self.config.directory_latency,
+                lambda: epoch == self.epoch and self.network.send(
+                    Message(MessageKind.FWD_GETM, src=self.node_id, dst=owner,
+                            addr=addr, txn_id=msg.txn_id, ack_count=acks,
+                            payload={"requestor": requestor})
+                ),
+                "home.forward",
+            )
+
+    def _process_upgrade(self, msg: Message, entry: DirEntry) -> None:
+        """GETM from the current owner (store to an O block): invalidate
+        the sharers; no data and no ownership transfer (hence no log)."""
+        addr, requestor = msg.addr, msg.src
+        txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
+        self.busy[addr] = txn
+        invalidatees = entry.sharers - {requestor}
+        entry.sharers = set()
+        self._send_invs(addr, invalidatees, requestor, msg.txn_id)
+        epoch = self.epoch
+        acks = len(invalidatees)
+        self.sim.schedule_after(
+            self.config.directory_latency,
+            lambda: epoch == self.epoch and self.network.send(
+                Message(MessageKind.ACK_COUNT, src=self.node_id, dst=requestor,
+                        addr=addr, txn_id=msg.txn_id, ack_count=acks)
+            ),
+            "home.upgrade",
+        )
+
+    def _send_invs(self, addr: int, sharers, requestor: int, txn_id: int) -> None:
+        for sharer in sharers:
+            self.network.send(
+                Message(MessageKind.INV, src=self.node_id, dst=sharer,
+                        addr=addr, txn_id=txn_id,
+                        payload={"requestor": requestor})
+            )
+
+    # ------------------------------------------------------------------
+    # PUTM (writeback)
+    # ------------------------------------------------------------------
+    def _process_putm(self, msg: Message) -> None:
+        addr, sender = msg.addr, msg.src
+        entry = self.dir_entry(addr)
+        if entry.owner != sender:
+            # The owner changed underneath (a FWD beat this writeback);
+            # the data already went to the new owner.  Discard.
+            self.c_stale_writebacks.add()
+            self.network.send(
+                Message(MessageKind.WB_STALE, src=self.node_id, dst=sender,
+                        addr=addr, txn_id=msg.txn_id)
+            )
+            return
+        # The transfer's point of atomicity is owner-side (cn - 1); with
+        # SafetyNet disabled the message carries no CN.
+        tag = (msg.cn - 1) if msg.cn is not None else self.ccn
+        if self._needs_log(addr, tag) and self.clb.is_full():
+            self.c_nacks_sent.add()
+            self.network.send(
+                Message(MessageKind.NACK, src=self.node_id, dst=sender,
+                        addr=addr, txn_id=msg.txn_id)
+            )
+            return
+        self._log_home(addr, tag)
+        self.c_writebacks.add()
+        self.values[addr] = msg.data
+        if msg.cn is not None:
+            self.block_cn[addr] = max(self.block_cn.get(addr) or 0, msg.cn)
+        entry.owner = MEMORY_OWNER
+        epoch = self.epoch
+        self.sim.schedule_after(
+            self.config.memory_latency,
+            lambda: epoch == self.epoch and self.network.send(
+                Message(MessageKind.WB_ACK, src=self.node_id, dst=sender,
+                        addr=addr, txn_id=msg.txn_id)
+            ),
+            "home.mem_write",
+        )
+
+    # ------------------------------------------------------------------
+    # FINAL_ACK: transaction closes; learn the point of atomicity
+    # ------------------------------------------------------------------
+    def _on_final_ack(self, msg: Message) -> None:
+        txn = self.busy.get(msg.addr)
+        if txn is None or txn.txn_id != msg.txn_id:
+            return  # stale (pre-recovery) ack
+        if txn.log_entry is not None and msg.cn is not None:
+            atomicity = msg.cn - 1
+            if atomicity != txn.log_entry.tag:
+                self.clb.retag(txn.log_entry, atomicity)
+                self.c_retags.add()
+            current = self.block_cn.get(msg.addr) or 0
+            self.block_cn[msg.addr] = max(current, msg.cn)
+        del self.busy[msg.addr]
+        self._pop_queue(msg.addr)
+
+    # ------------------------------------------------------------------
+    # SafetyNet checkpoint lifecycle
+    # ------------------------------------------------------------------
+    def on_edge(self, new_ccn: int) -> None:
+        self.ccn = new_ccn
+
+    def on_rpcn(self, rpcn: int) -> None:
+        if rpcn <= self.rpcn:
+            return
+        self.rpcn = rpcn
+        self.clb.free_below(rpcn)
+        for addr in [a for a, cn in self.block_cn.items() if cn <= rpcn]:
+            del self.block_cn[addr]
+
+    def min_open_interval(self) -> Optional[int]:
+        """Earliest interval with an open transaction at this home
+        (the directory's validation condition, paper §3.5)."""
+        intervals = [t.start_interval for t in self.busy.values()]
+        return min(intervals) if intervals else None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover_to(self, rpcn: int) -> int:
+        self.epoch += 1
+        self.busy.clear()
+        self.queues.clear()
+        unrolled = 0
+        for entry in self.clb.unroll_from(rpcn):
+            value, owner, sharers, cn = entry.payload
+            self.values[entry.addr] = value
+            self.directory[entry.addr] = DirEntry(owner, set(sharers))
+            unrolled += 1
+        self.clb.clear_from(rpcn)
+        # Everything that survives is, by construction, state as of the
+        # recovery point: all checkpoint numbers become null.
+        self.block_cn.clear()
+        self.rpcn = rpcn
+        return unrolled
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory_image(self) -> Dict[int, int]:
+        return dict(self.values)
+
+    def owner_map(self) -> Dict[int, Optional[int]]:
+        return {addr: e.owner for addr, e in self.directory.items()}

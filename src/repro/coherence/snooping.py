@@ -1,0 +1,340 @@
+"""SafetyNet on a broadcast snooping protocol (paper footnote 1, §2.3).
+
+A MOSI snooping system over :class:`~repro.interconnect.ordered.OrderedBus`.
+The interesting difference from the directory implementation is the
+*logical time base*: here it is simply the global coherence-request count
+(checkpoint every K requests).  Because the bus is totally ordered, every
+component independently assigns every transaction to the same checkpoint
+interval — no checkpoint clock, no skew condition, no FINAL_ACK/retag
+machinery.  A transaction's point of atomicity is its request's position
+in bus order.
+
+This variant is prototype-fidelity (see DESIGN.md): it shares the CLB and
+the logging rules with the main implementation and demonstrates exact
+recovery, but drives memory traffic directly rather than through the full
+processor/workload stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coherence.state import CacheBlock, CacheState, ProtocolError
+from repro.core.clb import CheckpointLogBuffer
+from repro.interconnect.messages import Message, MessageKind
+from repro.interconnect.ordered import OrderedBus
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatsRegistry
+
+_txn_ids = itertools.count(1)
+
+
+def interval_of(order_index: int, requests_per_checkpoint: int) -> int:
+    """Logical time: checkpoint interval of the nth coherence request.
+
+    Interval numbering starts at 1 (like CCNs in the directory variant).
+    """
+    return order_index // requests_per_checkpoint + 1
+
+
+class SnoopingCache:
+    """One node's cache on the snooping bus, with SafetyNet logging."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        bus: OrderedBus,
+        clb: CheckpointLogBuffer,
+        stats: StatsRegistry,
+        *,
+        requests_per_checkpoint: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.bus = bus
+        self.clb = clb
+        self.stats = stats
+        self.k = requests_per_checkpoint
+        self.ccn = 1                    # derived from observed request count
+        self.rpcn = 1
+        self.blocks: Dict[int, CacheBlock] = {}
+        self.pending: Dict[int, Tuple[Message, Optional[int], Callable]] = {}
+        self._observed = 0
+        bus.subscribe(self.on_snoop)
+        bus.attach_data(node_id, self.on_data)
+        ns = f"snoop{node_id}"
+        self.c_transfers_logged = stats.counter(f"{ns}.transfers_logged")
+        self.c_stores_logged = stats.counter(f"{ns}.stores_logged")
+
+    # ------------------------------------------------------------------
+    # SafetyNet primitives (same rules as the directory variant)
+    # ------------------------------------------------------------------
+    def _needs_log(self, block: CacheBlock) -> bool:
+        return block.cn is None or self.ccn >= block.cn
+
+    def _log_block(self, block: CacheBlock) -> None:
+        self.clb.append(self.ccn, block.addr, (block.state, block.data, block.cn))
+        block.cn = self.ccn + 1
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+    def load(self, addr: int, done: Callable[[int], None]) -> None:
+        block = self.blocks.get(addr)
+        if block is not None:
+            self.sim.schedule_after(1, lambda: done(block.data), "snoop.hit")
+            return
+        self._request(MessageKind.GETS, addr, None, done)
+
+    def store(self, addr: int, value: int, done: Callable[[], None]) -> None:
+        block = self.blocks.get(addr)
+        if block is not None and block.state == CacheState.MODIFIED:
+            if self._needs_log(block):
+                self._log_block(block)
+                self.c_stores_logged.add()
+            block.data = value
+            self.sim.schedule_after(1, lambda: done(), "snoop.hit")
+            return
+        self._request(MessageKind.GETM, addr, value, lambda _=None: done())
+
+    def _request(self, kind: MessageKind, addr: int, value: Optional[int],
+                 done: Callable) -> None:
+        if addr in self.pending:
+            raise ProtocolError(f"snoop{self.node_id}: request already pending")
+        msg = Message(kind, src=self.node_id, dst=-1, addr=addr,
+                      txn_id=next(_txn_ids))
+        order_index = self.bus.broadcast(msg)
+        self.pending[addr] = (msg, value, done, interval_of(order_index, self.k))
+
+    # ------------------------------------------------------------------
+    # Bus side: every component sees every request, in the same order
+    # ------------------------------------------------------------------
+    def on_snoop(self, msg: Message, index: int) -> None:
+        # Advance logical time first: the request belongs to this interval.
+        self._observed = index + 1
+        self.ccn = interval_of(index, self.k)
+        if msg.kind not in (MessageKind.GETS, MessageKind.GETM):
+            return
+        block = self.blocks.get(msg.addr)
+        if msg.src == self.node_id:
+            return  # our own request; we act when data arrives
+        if block is None:
+            return
+        if msg.kind == MessageKind.GETS:
+            if block.is_owner():
+                # Serve the read; stay owner (M -> O).  No transfer, no log.
+                block.state = CacheState.OWNED
+                self.bus.send_data(Message(
+                    MessageKind.DATA_OWNER, src=self.node_id, dst=msg.src,
+                    addr=msg.addr, txn_id=msg.txn_id, data=block.data,
+                    cn=block.cn, grant="S",
+                ))
+        else:  # GETM
+            if block.is_owner():
+                # Ownership transfers at THIS point in bus order: the
+                # transaction's point of atomicity.  Log-on-transfer rule.
+                if self._needs_log(block):
+                    self._log_block(block)
+                    self.c_transfers_logged.add()
+                self.bus.send_data(Message(
+                    MessageKind.DATA_OWNER, src=self.node_id, dst=msg.src,
+                    addr=msg.addr, txn_id=msg.txn_id, data=block.data,
+                    cn=block.cn, grant="M",
+                ))
+            del self.blocks[msg.addr]  # owner and sharers invalidate
+
+    def on_data(self, msg: Message) -> None:
+        entry = self.pending.pop(msg.addr, None)
+        if entry is None or entry[0].txn_id != msg.txn_id:
+            return
+        request, value, done, _issue_interval = entry
+        state = CacheState.MODIFIED if msg.grant == "M" else CacheState.SHARED
+        cn = msg.cn if (msg.cn is None or msg.cn > self.rpcn) else None
+        block = CacheBlock(msg.addr, state, msg.data, cn)
+        self.blocks[msg.addr] = block
+        if request.kind == MessageKind.GETM:
+            if self._needs_log(block):
+                self._log_block(block)
+                self.c_stores_logged.add()
+            block.data = value
+        done(msg.data)
+
+    # ------------------------------------------------------------------
+    # Validation + recovery
+    # ------------------------------------------------------------------
+    def min_open_interval(self) -> Optional[int]:
+        """Earliest interval with an incomplete request we issued — the
+        same validation condition as the directory variant (a checkpoint
+        k validates only once every request from intervals < k completed)."""
+        intervals = [issue for (_m, _v, _d, issue) in self.pending.values()]
+        return min(intervals) if intervals else None
+
+    def on_rpcn(self, rpcn: int) -> None:
+        if rpcn <= self.rpcn:
+            return
+        self.rpcn = rpcn
+        self.clb.free_below(rpcn)
+        for block in self.blocks.values():
+            if block.cn is not None and block.cn <= rpcn:
+                block.cn = None
+
+    def recover_to(self, rpcn: int) -> int:
+        self.pending.clear()
+        unrolled = 0
+        for entry in self.clb.unroll_from(rpcn):
+            state, data, cn = entry.payload
+            self.blocks[entry.addr] = CacheBlock(entry.addr, state, data, cn)
+            unrolled += 1
+        self.clb.clear_from(rpcn)
+        for addr in [a for a, b in self.blocks.items()
+                     if b.cn is not None and b.cn > rpcn]:
+            del self.blocks[addr]
+        for block in self.blocks.values():
+            block.cn = None
+        self.rpcn = rpcn
+        return unrolled
+
+    def owned_state(self) -> Dict[int, Tuple[str, int]]:
+        return {a: (b.state, b.data) for a, b in self.blocks.items()
+                if b.is_owner()}
+
+
+class SnoopingMemory:
+    """The memory on the snooping bus: responds when no cache owns."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: OrderedBus,
+        caches: List[SnoopingCache],
+        clb: CheckpointLogBuffer,
+        *,
+        requests_per_checkpoint: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.caches = caches
+        self.clb = clb
+        self.k = requests_per_checkpoint
+        self.ccn = 1
+        self.rpcn = 1
+        self.values: Dict[int, int] = {}
+        self.block_cn: Dict[int, Optional[int]] = {}
+        self.owner: Dict[int, Optional[int]] = {}
+        bus.subscribe(self.on_snoop)
+
+    def value_of(self, addr: int) -> int:
+        return self.values.get(addr, 0)
+
+    def on_snoop(self, msg: Message, index: int) -> None:
+        self.ccn = interval_of(index, self.k)
+        if msg.kind not in (MessageKind.GETS, MessageKind.GETM):
+            return
+        addr = msg.addr
+        owner = self.owner.get(addr)
+        if msg.kind == MessageKind.GETM:
+            # Log the ownership change (value is unchanged at memory).
+            cn = self.block_cn.get(addr)
+            if cn is None or self.ccn >= cn:
+                self.clb.append(self.ccn, addr,
+                                (self.value_of(addr), owner, cn))
+                self.block_cn[addr] = self.ccn + 1
+            self.owner[addr] = msg.src
+        if owner is None or owner == msg.src:
+            # No cache owner (or upgrading owner re-requesting): memory is
+            # the responder.
+            grant = "M" if msg.kind == MessageKind.GETM else "S"
+            out_cn = self.block_cn.get(addr) if msg.kind == MessageKind.GETM \
+                else self.block_cn.get(addr)
+            self.bus.send_data(Message(
+                MessageKind.DATA, src=-1, dst=msg.src, addr=addr,
+                txn_id=msg.txn_id, data=self.value_of(addr),
+                cn=out_cn, grant=grant,
+            ))
+
+    def on_rpcn(self, rpcn: int) -> None:
+        if rpcn <= self.rpcn:
+            return
+        self.rpcn = rpcn
+        self.clb.free_below(rpcn)
+        for addr in [a for a, cn in self.block_cn.items()
+                     if cn is not None and cn <= rpcn]:
+            del self.block_cn[addr]
+
+    def recover_to(self, rpcn: int) -> int:
+        unrolled = 0
+        for entry in self.clb.unroll_from(rpcn):
+            value, owner, cn = entry.payload
+            self.values[entry.addr] = value
+            self.owner[entry.addr] = owner
+            unrolled += 1
+        self.clb.clear_from(rpcn)
+        self.block_cn.clear()
+        self.rpcn = rpcn
+        return unrolled
+
+
+class SnoopingSystem:
+    """A small SafetyNet-protected snooping multiprocessor (footnote 1)."""
+
+    def __init__(self, num_caches: int = 4, *, requests_per_checkpoint: int = 64,
+                 clb_entries: int = 4096) -> None:
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.bus = OrderedBus(self.sim, stats=self.stats)
+        self.k = requests_per_checkpoint
+        self.caches = [
+            SnoopingCache(
+                self.sim, i, self.bus,
+                CheckpointLogBuffer(clb_entries, name=f"snoop{i}.clb"),
+                self.stats, requests_per_checkpoint=requests_per_checkpoint,
+            )
+            for i in range(num_caches)
+        ]
+        self.memory = SnoopingMemory(
+            self.sim, self.bus, self.caches,
+            CheckpointLogBuffer(clb_entries, name="snoopmem.clb"),
+            requests_per_checkpoint=requests_per_checkpoint,
+        )
+
+    # ------------------------------------------------------------------
+    def current_interval(self) -> int:
+        return interval_of(max(0, self.bus.requests_observed - 1), self.k)
+
+    def validate_to(self, rpcn: int) -> None:
+        """Advance the recovery point (two-phase coordination, condensed:
+        asserts nothing is open below the new recovery point)."""
+        for cache in self.caches:
+            bound = cache.min_open_interval()
+            if bound is not None and bound < rpcn:
+                raise ProtocolError("cannot validate past an open transaction")
+            cache.on_rpcn(rpcn)
+        self.memory.on_rpcn(rpcn)
+
+    def recover_to(self, rpcn: int) -> int:
+        self.bus.drain()
+        unrolled = self.memory.recover_to(rpcn)
+        for cache in self.caches:
+            unrolled += cache.recover_to(rpcn)
+        return unrolled
+
+    # ------------------------------------------------------------------
+    def architected_value(self, addr: int) -> int:
+        owners = [c for c in self.caches if addr in c.owned_state()]
+        if len(owners) > 1:
+            raise AssertionError(f"multiple owners for {addr:#x}")
+        if owners:
+            return owners[0].owned_state()[addr][1]
+        return self.memory.value_of(addr)
+
+    def check_invariants(self) -> None:
+        seen: Dict[int, int] = {}
+        for cache in self.caches:
+            for addr in cache.owned_state():
+                if addr in seen:
+                    raise AssertionError(
+                        f"{addr:#x} owned by {seen[addr]} and {cache.node_id}"
+                    )
+                seen[addr] = cache.node_id

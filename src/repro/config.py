@@ -1,0 +1,205 @@
+"""System configuration (the paper's Table 2, plus SafetyNet knobs).
+
+Two presets are provided:
+
+* :meth:`SystemConfig.paper` — the paper's Table 2 parameters verbatim
+  (16 processors, 4 MB L2, 512 kB CLBs, 100 000-cycle checkpoint interval,
+  2D torus at 6.4 GB/s links).  Running full commercial workloads at this
+  scale needs a C++ simulator; in pure Python it is usable for short runs.
+* :meth:`SystemConfig.sim_scaled` — every size scaled down by a constant
+  factor (cache, footprint, interval, CLB) so that miss rates, logging
+  rates per 1000 instructions, and CLB pressure match the paper's regime
+  while a run completes in seconds.  EXPERIMENTS.md records the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All architectural parameters for one simulated machine."""
+
+    # -- machine shape ---------------------------------------------------
+    num_processors: int = 16
+    torus_width: int = 4
+    torus_height: int = 4
+
+    # -- memory system (Table 2) -----------------------------------------
+    block_size: int = 64              # bytes per coherence block
+    l1_size: int = 128 * 1024         # bytes (I and D each, modelled merged)
+    l1_assoc: int = 4
+    l2_size: int = 4 * 1024 * 1024    # bytes
+    l2_assoc: int = 4
+    memory_size: int = 2 * 1024**3    # bytes (2 GB)
+    memory_latency: int = 70          # cycles for a DRAM access at the home
+    directory_latency: int = 10       # directory lookup/update at the home
+
+    # -- interconnect (Table 2: 2D torus, 6.4 GB/s links) -----------------
+    link_bandwidth_bytes_per_cycle: float = 6.4   # 6.4 GB/s at 1 GHz
+    switch_latency: int = 8           # cycles per switch hop (pipelined)
+    link_latency: int = 4             # cycles of wire/SerDes per link
+    switch_buffer_messages: int = 64  # per half-switch buffer capacity
+    control_message_bytes: int = 8
+    data_message_bytes: int = 72      # 8-byte header + 64-byte block
+
+    # -- cache access timing ----------------------------------------------
+    cache_hit_latency: int = 1        # cycles for an L1/L2 hit (blocking core)
+    store_log_penalty: int = 8        # paper: 8 cycles to read old block out
+
+    # -- SafetyNet ---------------------------------------------------------
+    safetynet_enabled: bool = True
+    checkpoint_interval: int = 100_000      # cycles between checkpoint-clock edges
+    outstanding_checkpoints: int = 4        # intervals pending validation
+    clb_size_bytes: int = 512 * 1024        # total CLB capacity per controller
+    clb_entry_bytes: int = 72               # 8-byte address + 64-byte block
+    register_checkpoint_cycles: int = 100   # paper's conservative charge
+    max_clock_skew: int = 8                 # cycles of checkpoint-clock skew
+    validation_poll_interval: int = 2_000   # how often components re-check readiness
+
+    # -- fault handling ------------------------------------------------------
+    request_timeout: int = 20_000           # cycles before a requestor times out
+    watchdog_timeout: int = 1_000_000       # recovery-point stall watchdog
+    service_broadcast_latency: int = 200    # out-of-band controller channel
+    recovery_fixed_latency: int = 2_000     # drain + restore orchestration cost
+    max_recoveries: int = 64                # give up (livelock guard) after this
+
+    # -- home/directory -------------------------------------------------------
+    home_queue_depth: int = 16               # queued requests per busy block
+    nack_retry_delay: int = 400              # requestor backoff before retry
+    store_throttle_delay: int = 100          # CPU backoff when CLB is full
+
+    def __post_init__(self) -> None:
+        if self.num_processors != self.torus_width * self.torus_height:
+            raise ValueError(
+                f"num_processors={self.num_processors} must equal "
+                f"torus {self.torus_width}x{self.torus_height}"
+            )
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if self.outstanding_checkpoints < 1:
+            raise ValueError("need at least one outstanding checkpoint")
+        if self.clb_entry_bytes < self.block_size + 8:
+            raise ValueError("CLB entry must hold an address plus a block")
+        min_latency = self.min_network_latency
+        if self.safetynet_enabled and self.max_clock_skew >= min_latency:
+            raise ValueError(
+                "checkpoint-clock skew must be below the minimum network "
+                f"latency ({self.max_clock_skew} >= {min_latency}); the "
+                "logical time base would violate causality (paper S3.2)"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def blocks_per_cache(self) -> int:
+        return self.l2_size // self.block_size
+
+    @property
+    def cache_sets(self) -> int:
+        return self.blocks_per_cache // self.l2_assoc
+
+    @property
+    def clb_entries(self) -> int:
+        """Total CLB entries per controller (all intervals combined)."""
+        return self.clb_size_bytes // self.clb_entry_bytes
+
+    @property
+    def min_network_latency(self) -> int:
+        """Lower bound on any node-to-node message latency (one hop)."""
+        return self.switch_latency + self.link_latency
+
+    @property
+    def detection_latency_tolerance(self) -> int:
+        """Paper S3.4: outstanding checkpoints x interval length."""
+        return self.outstanding_checkpoints * self.checkpoint_interval
+
+    @property
+    def data_serialization_cycles(self) -> int:
+        return max(1, round(self.data_message_bytes / self.link_bandwidth_bytes_per_cycle))
+
+    @property
+    def control_serialization_cycles(self) -> int:
+        return max(1, round(self.control_message_bytes / self.link_bandwidth_bytes_per_cycle))
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- presets --------------------------------------------------------------
+    @classmethod
+    def paper(cls, **overrides) -> "SystemConfig":
+        """Table 2 parameters verbatim."""
+        return cls(**overrides)
+
+    @classmethod
+    def sim_scaled(cls, scale: int = 16, **overrides) -> "SystemConfig":
+        """Paper parameters with sizes/intervals divided by ``scale``.
+
+        Pass the same ``scale`` to the workload presets: the scaling keeps
+        the ratios that drive the paper's results fixed — (footprint :
+        cache size), (checkpoint interval : instructions per interval),
+        (CLB capacity : logging rate x interval x outstanding checkpoints).
+        """
+        base = cls(
+            l1_size=(128 * 1024) // scale,
+            l2_size=(4 * 1024 * 1024) // scale,
+            memory_size=(2 * 1024**3) // scale,
+            checkpoint_interval=max(2_000, 200_000 // scale),
+            clb_size_bytes=(512 * 1024) // scale,
+            request_timeout=6_000,
+            watchdog_timeout=200_000,
+            validation_poll_interval=500,
+        )
+        if overrides:
+            base = base.with_overrides(**overrides)
+        return base
+
+    @classmethod
+    def tiny(cls, **overrides) -> "SystemConfig":
+        """A 2x2 machine for unit tests."""
+        base = cls(
+            num_processors=4,
+            torus_width=2,
+            torus_height=2,
+            l1_size=4 * 1024,
+            l2_size=16 * 1024,
+            memory_size=1024 * 1024,
+            checkpoint_interval=2_000,
+            clb_size_bytes=32 * 1024,
+            request_timeout=4_000,
+            watchdog_timeout=100_000,
+            validation_poll_interval=200,
+            memory_latency=20,
+        )
+        if overrides:
+            base = base.with_overrides(**overrides)
+        return base
+
+    def table2(self) -> Dict[str, str]:
+        """Render the configuration as the paper's Table 2 rows."""
+        return {
+            "L1 Cache (I and D)": f"{self.l1_size // 1024} KB, {self.l1_assoc}-way set associative",
+            "L2 Cache": f"{self.l2_size // (1024 * 1024)} MB, {self.l2_assoc}-way set-associative"
+            if self.l2_size >= 1024 * 1024
+            else f"{self.l2_size // 1024} KB, {self.l2_assoc}-way set-associative",
+            "Memory": f"{self.memory_size // 1024**3} GB, {self.block_size} byte blocks"
+            if self.memory_size >= 1024**3
+            else f"{self.memory_size // 1024**2} MB, {self.block_size} byte blocks",
+            "Miss From Memory": f"{self.uncontended_2hop_latency()} ns (uncontended, 2-hop)",
+            "Checkpoint Log Buffer": f"{self.clb_size_bytes // 1024} kbytes total, "
+            f"{self.clb_entry_bytes} byte entries",
+            "Interconnection Network": "2D torus, link b/w = "
+            f"{self.link_bandwidth_bytes_per_cycle:.1f} GB/sec",
+            "Checkpoint Interval": f"{self.checkpoint_interval:,} cycles",
+        }
+
+    def uncontended_2hop_latency(self) -> int:
+        """Estimated request+response latency for an average-distance
+        memory miss (the paper's Table 2 quotes 180 ns)."""
+        avg_hops = (self.torus_width // 2 + self.torus_height // 2)
+        one_way = avg_hops * (self.switch_latency + self.link_latency)
+        request = one_way + self.control_serialization_cycles
+        response = one_way + self.data_serialization_cycles
+        return request + self.memory_latency + response

@@ -1,0 +1,95 @@
+"""Output and input commit at the sphere-of-recovery boundary (paper §2.4).
+
+SafetyNet's sphere of recovery covers processors, caches, and memory — not
+I/O devices.  The *output commit problem*: data may leave the sphere only
+once it is validated (a disk write issued from a checkpoint that later
+rolls back cannot be undone).  The standard solution, implemented here, is
+to buffer output events until their checkpoint interval validates.  The
+*input commit problem* is solved by logging inputs so that re-execution
+after a recovery replays the same values instead of re-sampling the
+outside world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class OutputCommitBuffer:
+    """Holds output events until their interval is validated.
+
+    An event produced in interval ``i`` may be released once the recovery
+    point has advanced past it (RPCN > i): recovery can then never undo
+    the execution that produced it.
+    """
+
+    def __init__(self, node_id: int,
+                 on_release: Optional[Callable[[Any], None]] = None) -> None:
+        self.node_id = node_id
+        self.on_release = on_release
+        self._pending: List[Tuple[int, Any]] = []  # (interval, payload)
+        self.released: List[Any] = []
+        self.discarded = 0
+
+    def emit(self, interval: int, payload: Any) -> None:
+        """Queue an output generated during ``interval``."""
+        self._pending.append((interval, payload))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def on_rpcn(self, rpcn: int) -> None:
+        """Validation advanced: release everything now provably fault-free."""
+        still_pending: List[Tuple[int, Any]] = []
+        for interval, payload in self._pending:
+            if interval < rpcn:
+                self.released.append(payload)
+                if self.on_release is not None:
+                    self.on_release(payload)
+            else:
+                still_pending.append((interval, payload))
+        self._pending = still_pending
+
+    def discard_from(self, rpcn: int) -> int:
+        """Recovery: outputs from rolled-back execution must vanish (they
+        will be regenerated — possibly differently — by re-execution)."""
+        kept = [(i, p) for (i, p) in self._pending if i < rpcn]
+        dropped = len(self._pending) - len(kept)
+        self._pending = kept
+        self.discarded += dropped
+        return dropped
+
+
+class InputLog:
+    """Logs externally supplied values for deterministic replay.
+
+    ``consume(key, produce)`` returns the logged value for ``key`` if one
+    exists (re-execution), otherwise calls ``produce()`` once and logs it
+    (first execution).  Keys are retirement positions, which rewind on
+    recovery — so re-executed consumption hits the log.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._log: Dict[int, Any] = {}
+        self.replays = 0
+        self.first_reads = 0
+
+    def consume(self, key: int, produce: Callable[[], Any]) -> Any:
+        if key in self._log:
+            self.replays += 1
+            return self._log[key]
+        value = produce()
+        self._log[key] = value
+        self.first_reads += 1
+        return value
+
+    def prune_below(self, key: int) -> None:
+        """Drop entries that can never be replayed again (positions below
+        every reachable recovery point)."""
+        for k in [k for k in self._log if k < key]:
+            del self._log[k]
+
+    def __len__(self) -> int:
+        return len(self._log)

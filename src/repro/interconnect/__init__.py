@@ -1,0 +1,26 @@
+"""2D-torus interconnection network substrate.
+
+The paper's system (Fig. 2) connects 16 processor-memory nodes through a 2D
+torus whose switches are split into two *half-switches* (east-west and
+north-south) so that a single dead switch element does not partition the
+machine.  This package models the topology, dimension-order routing with
+recomputation around dead elements, per-link serialisation/contention, and
+the two fault types used in the evaluation (dropped message, failed switch).
+"""
+
+from repro.interconnect.messages import Message, MessageKind
+from repro.interconnect.topology import HalfSwitchId, TorusTopology
+from repro.interconnect.routing import RoutingTable
+from repro.interconnect.network import Network
+from repro.interconnect.faults import DropMessageFault, KillSwitchFault
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "HalfSwitchId",
+    "TorusTopology",
+    "RoutingTable",
+    "Network",
+    "DropMessageFault",
+    "KillSwitchFault",
+]

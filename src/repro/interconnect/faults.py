@@ -1,0 +1,82 @@
+"""Fault injectors for the two faults evaluated in the paper (Table 1).
+
+* :class:`DropMessageFault` — a transient (e.g. alpha particle) corrupts or
+  misroutes one coherence message inside a switch.  The paper's Experiment 2
+  injects one every 100 million cycles ("ten times per second" at 1 GHz).
+* :class:`KillSwitchFault` — a hard fault (e.g. electromigration) kills one
+  half-switch after a delay, losing all of its buffered messages
+  (Experiment 3: after one million cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interconnect.messages import Message
+from repro.interconnect.network import Network
+from repro.interconnect.topology import HalfSwitchId, Vertex
+from repro.sim.kernel import Simulator
+
+
+class DropMessageFault:
+    """Periodically arms itself and drops the next message entering a switch.
+
+    ``period`` is the cycle spacing between injected transients; ``count``
+    bounds the number of injections (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        period: int,
+        *,
+        first_at: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("fault period must be positive")
+        self.sim = sim
+        self.network = network
+        self.period = period
+        self.remaining = count
+        self.injected = 0
+        self._armed = False
+        network.add_drop_hook(self._maybe_drop)
+        sim.schedule(first_at if first_at is not None else period, self._arm, "fault.arm")
+
+    def _arm(self) -> None:
+        if self.remaining is not None and self.injected >= self.remaining:
+            return
+        self._armed = True
+
+    def _maybe_drop(self, msg: Message, vertex: Vertex) -> bool:
+        if not self._armed:
+            return False
+        self._armed = False
+        self.injected += 1
+        if self.remaining is None or self.injected < self.remaining:
+            self.sim.schedule_after(self.period, self._arm, "fault.arm")
+        return True
+
+
+class KillSwitchFault:
+    """Kills one half-switch at a fixed cycle (hard fault)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        half: HalfSwitchId,
+        at_cycle: int,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.half = half
+        self.fired = False
+        self.messages_lost_in_switch = 0
+        sim.schedule(at_cycle, self._fire, "fault.kill_switch")
+
+    def _fire(self) -> None:
+        self.fired = True
+        self.messages_lost_in_switch = self.network.kill_half_switch(self.half)

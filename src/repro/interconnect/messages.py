@@ -1,0 +1,89 @@
+"""Message types carried by the interconnect.
+
+Coherence messages implement the MOSI directory protocol with the paper's
+three SafetyNet changes: data responses carry a checkpoint number (the point
+of atomicity), NACKs exist so CLB-full components can refuse work, and
+three-hop transactions end with a FINAL_ACK from requestor to home.
+Validation-coordination messages (VALIDATE_READY / RPCN broadcast) also ride
+the interconnect; the paper explicitly models their contention.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class MessageKind(enum.Enum):
+    # coherence requests (cache -> home)
+    GETS = enum.auto()
+    GETM = enum.auto()
+    PUTM = enum.auto()
+    # home -> cache
+    DATA = enum.auto()          # data response from memory (carries CN)
+    FWD_GETS = enum.auto()      # forward read to the owning cache
+    FWD_GETM = enum.auto()      # forward read-exclusive to the owning cache
+    INV = enum.auto()           # invalidate a sharer
+    WB_ACK = enum.auto()        # writeback accepted
+    WB_STALE = enum.auto()      # writeback lost the race; discard
+    NACK = enum.auto()          # busy / CLB full; retry later
+    ACK_COUNT = enum.auto()     # upgrade grant: how many INV_ACKs to expect
+    # cache -> cache
+    DATA_OWNER = enum.auto()    # data response from the owning cache (carries CN)
+    INV_ACK = enum.auto()       # sharer invalidated; sent to the requestor
+    # cache -> home
+    FINAL_ACK = enum.auto()     # transaction complete; carries atomicity CN
+    # SafetyNet validation coordination (over the interconnect)
+    VALIDATE_READY = enum.auto()    # component -> service controller
+    RPCN_BROADCAST = enum.auto()    # service controller -> component
+
+
+# Message kinds that carry a 64-byte data block (everything else is control).
+DATA_KINDS = frozenset({MessageKind.DATA, MessageKind.DATA_OWNER, MessageKind.PUTM})
+
+# Kinds belonging to the coherence protocol (vs. SafetyNet coordination).
+COHERENCE_REQUEST_KINDS = frozenset(
+    {MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM}
+)
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One interconnect message.
+
+    ``src``/``dst`` are node ids.  ``txn_id`` ties every message of a
+    coherence transaction together.  ``cn`` is the SafetyNet checkpoint
+    number riding on data responses (``None`` = belongs to the recovery
+    point and all later checkpoints).
+    """
+
+    kind: MessageKind
+    src: int
+    dst: int
+    addr: Optional[int] = None
+    txn_id: Optional[int] = None
+    cn: Optional[int] = None
+    ack_count: int = 0
+    data: Optional[int] = None          # block contents (modelled as an int version)
+    grant: Optional[str] = None         # "S" or "M" on data responses
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def size_bytes(self) -> int:
+        return 72 if self.kind in DATA_KINDS else 8
+
+    def is_data(self) -> bool:
+        return self.kind in DATA_KINDS
+
+    def __repr__(self) -> str:  # compact, for debug traces
+        addr = f" a={self.addr:#x}" if self.addr is not None else ""
+        cn = f" cn={self.cn}" if self.cn is not None else ""
+        return (
+            f"<{self.kind.name} {self.src}->{self.dst}{addr}"
+            f"{cn} txn={self.txn_id} id={self.msg_id}>"
+        )

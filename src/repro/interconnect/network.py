@@ -1,0 +1,234 @@
+"""Cycle-approximate network model for the half-switch torus.
+
+Messages traverse precomputed routes hop by hop.  Each directed link has an
+occupancy horizon (serialisation at 6.4 bytes/cycle), each half-switch adds
+a pipeline latency and has finite buffering, and faults act exactly where
+the paper puts them: a transient can drop one message inside a switch, and
+killing a half-switch loses every message buffered in it plus anything that
+later arrives there (until the routing tables are recomputed around it).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.interconnect.messages import Message
+from repro.interconnect.routing import RoutingTable
+from repro.interconnect.topology import HalfSwitchId, TorusTopology, Vertex
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatsRegistry
+
+DeliverFn = Callable[[Message], None]
+DropHook = Callable[[Message, Vertex], bool]
+LostFn = Callable[[Message, str], None]
+
+
+class _Flight:
+    """Book-keeping for one in-flight message."""
+
+    __slots__ = ("msg", "path", "index", "dropped", "epoch")
+
+    def __init__(self, msg: Message, path: List[Vertex], epoch: int) -> None:
+        self.msg = msg
+        self.path = path
+        self.index = 0          # vertex the message is currently at
+        self.dropped = False
+        self.epoch = epoch
+
+
+class Network:
+    """The interconnect: inject with :meth:`send`, receive via endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: TorusTopology,
+        routing: RoutingTable,
+        *,
+        stats: Optional[StatsRegistry] = None,
+        switch_latency: int = 8,
+        link_latency: int = 4,
+        bytes_per_cycle: float = 6.4,
+        buffer_capacity: int = 64,
+        name: str = "net",
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.routing = routing
+        self.stats = stats or StatsRegistry()
+        self.switch_latency = switch_latency
+        self.link_latency = link_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.buffer_capacity = buffer_capacity
+        self._name = name
+
+        self._endpoints: Dict[int, DeliverFn] = {}
+        self._link_free: Dict[Tuple[Vertex, Vertex], int] = {}
+        self._resident: Dict[Vertex, Set[int]] = defaultdict(set)
+        self._in_flight: Dict[int, _Flight] = {}
+        self._drop_hooks: List[DropHook] = []
+        self._lost_listeners: List[LostFn] = []
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, deliver: DeliverFn) -> None:
+        """Register the delivery callback for a node endpoint."""
+        self._endpoints[node_id] = deliver
+
+    def add_drop_hook(self, hook: DropHook) -> None:
+        """Hooks run as a message enters a switch; True means drop it."""
+        self._drop_hooks.append(hook)
+
+    def add_lost_listener(self, listener: LostFn) -> None:
+        """Called whenever a message is lost (fault injection or dead switch)."""
+        self._lost_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Inject a message; it will be delivered (or lost) asynchronously."""
+        if msg.dst == msg.src:
+            # Local delivery still costs the node-internal latency.  The
+            # epoch guard makes drain() discard queued local deliveries too.
+            self.stats.counter(f"{self._name}.messages_sent").add()
+            epoch = self._epoch
+            self.sim.schedule_after(
+                1,
+                lambda m=msg: epoch == self._epoch and self._deliver(m),
+                "net.local_deliver",
+            )
+            return
+        path = self.routing.path(msg.src, msg.dst)
+        flight = _Flight(msg, path, self._epoch)
+        self._in_flight[msg.msg_id] = flight
+        self.stats.counter(f"{self._name}.messages_sent").add()
+        self.stats.counter(f"{self._name}.bytes_sent").add(msg.size_bytes)
+        self._depart(flight)
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    # ------------------------------------------------------------------
+    # Hop machinery
+    # ------------------------------------------------------------------
+    def _serialization(self, msg: Message) -> int:
+        return max(1, round(msg.size_bytes / self.bytes_per_cycle))
+
+    def _depart(self, flight: _Flight) -> None:
+        """Move the message from its current vertex onto the next link."""
+        if flight.dropped or flight.epoch != self._epoch:
+            return
+        here = flight.path[flight.index]
+        nxt = flight.path[flight.index + 1]
+        link = (here, nxt)
+        ser = self._serialization(flight.msg)
+        start = max(self.sim.now, self._link_free.get(link, 0))
+        self._link_free[link] = start + ser
+        wait = start - self.sim.now
+        if wait:
+            self.stats.counter(f"{self._name}.contention_cycles").add(wait)
+        switch_delay = self.switch_latency if here[0] == "sw" else 1
+        arrive_at = start + ser + self.link_latency + switch_delay
+        # The message stays resident in the current switch until it is
+        # fully on the wire; model residency until link start + ser.
+        self.sim.schedule(
+            arrive_at, lambda f=flight: self._arrive(f), "net.hop"
+        )
+        if here[0] == "sw":
+            self.sim.schedule(
+                start + ser, lambda f=flight, v=here: self._leave(f, v), "net.leave"
+            )
+
+    def _leave(self, flight: _Flight, vertex: Vertex) -> None:
+        self._resident[vertex].discard(flight.msg.msg_id)
+
+    def _arrive(self, flight: _Flight) -> None:
+        if flight.dropped or flight.epoch != self._epoch:
+            return
+        flight.index += 1
+        vertex = flight.path[flight.index]
+        if vertex[0] == "sw":
+            half: HalfSwitchId = vertex[1]
+            if self.topology.is_dead(half):
+                self._lose(flight, f"dead switch {half}")
+                return
+            for hook in self._drop_hooks:
+                if hook(flight.msg, vertex):
+                    self._lose(flight, f"fault injection at {half}")
+                    return
+            if len(self._resident[vertex]) >= self.buffer_capacity:
+                # Backpressure: retry entering the switch shortly.
+                flight.index -= 1
+                self.stats.counter(f"{self._name}.buffer_stalls").add()
+                self.sim.schedule_after(
+                    4, lambda f=flight: self._arrive_retry(f), "net.buffer_retry"
+                )
+                return
+            self._resident[vertex].add(flight.msg.msg_id)
+            self._depart(flight)
+        else:
+            # Destination endpoint.
+            del self._in_flight[flight.msg.msg_id]
+            self._deliver(flight.msg)
+
+    def _arrive_retry(self, flight: _Flight) -> None:
+        if flight.dropped or flight.epoch != self._epoch:
+            return
+        self._arrive(flight)
+
+    def _deliver(self, msg: Message) -> None:
+        self.stats.counter(f"{self._name}.messages_delivered").add()
+        # A misrouting fault sends the message to the wrong endpoint,
+        # where the paper's illegal-message detection catches it.
+        target = msg.payload.get("misrouted_to", msg.dst)
+        handler = self._endpoints.get(target)
+        if handler is None:
+            raise RuntimeError(f"no endpoint attached for node {target}")
+        handler(msg)
+
+    def _lose(self, flight: _Flight, reason: str) -> None:
+        flight.dropped = True
+        self._in_flight.pop(flight.msg.msg_id, None)
+        self.stats.counter(f"{self._name}.messages_lost").add()
+        for listener in self._lost_listeners:
+            listener(flight.msg, reason)
+
+    # ------------------------------------------------------------------
+    # Faults and recovery support
+    # ------------------------------------------------------------------
+    def kill_half_switch(self, half: HalfSwitchId) -> int:
+        """Hard fault: the half-switch dies and its buffered messages are
+        irretrievably lost (paper Table 1).  Returns how many died with it.
+        Routing is NOT recomputed here — that is the recovery-time
+        reconfiguration step (:meth:`reconfigure`)."""
+        vertex: Vertex = ("sw", half)
+        victims = list(self._resident.get(vertex, ()))
+        for msg_id in victims:
+            flight = self._in_flight.get(msg_id)
+            if flight is not None:
+                self._lose(flight, f"killed with switch {half}")
+        self._resident.pop(vertex, None)
+        self.topology.kill_half_switch(half)
+        return len(victims)
+
+    def reconfigure(self) -> None:
+        """Recompute routes around dead elements (post-recovery step)."""
+        self.routing.recompute()
+
+    def drain(self) -> int:
+        """Discard every in-flight message (recovery step 1).
+
+        All state related to in-progress transactions is unvalidated and
+        logically after the recovery point, so it is simply thrown away.
+        """
+        count = len(self._in_flight)
+        self._epoch += 1
+        self._in_flight.clear()
+        self._resident.clear()
+        self._link_free.clear()
+        return count

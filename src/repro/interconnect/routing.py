@@ -1,0 +1,95 @@
+"""Routing tables for the half-switch torus.
+
+Fault-free routing is dimension-order (X on the east-west plane, then a
+crossover to the north-south plane, then Y), which the shortest-path
+computation on the half-switch graph produces naturally because the
+edge weights bias the EW plane first.  After a half-switch dies, the
+tables are recomputed on the surviving graph — the paper's
+"reconfiguring the interconnect to route around the lost switch".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.interconnect.topology import (
+    HalfSwitchId,
+    TorusTopology,
+    Vertex,
+    node_vertex,
+    switch_vertex,
+)
+
+
+class RoutingError(RuntimeError):
+    """Raised when no route exists between two endpoints."""
+
+
+class RoutingTable:
+    """Precomputed full paths between every pair of node endpoints.
+
+    ``path(src, dst)`` returns the vertex list from the source node
+    endpoint to the destination node endpoint (inclusive).  Recomputed on
+    demand after topology changes via :meth:`recompute`.
+    """
+
+    # Edge-weight bias: prefer entering the EW plane first so fault-free
+    # routes match classic X-then-Y dimension-order routing.
+    _EW_BIAS = 0.0001
+
+    def __init__(self, topology: TorusTopology) -> None:
+        self._topology = topology
+        self._paths: Dict[Tuple[int, int], List[Vertex]] = {}
+        self.recompute()
+
+    def recompute(self) -> None:
+        """Rebuild all node-to-node paths on the current (surviving) graph."""
+        graph = self._weighted_graph()
+        self._paths.clear()
+        n = self._topology.num_nodes
+        for src in range(n):
+            try:
+                tree = nx.single_source_dijkstra_path(graph, node_vertex(src))
+            except nx.NodeNotFound as exc:  # pragma: no cover - defensive
+                raise RoutingError(f"node {src} missing from graph") from exc
+            for dst in range(n):
+                if src == dst:
+                    continue
+                target = node_vertex(dst)
+                if target not in tree:
+                    raise RoutingError(
+                        f"no route {src}->{dst}; torus partitioned "
+                        f"(dead: {self._topology.dead_switches})"
+                    )
+                self._paths[(src, dst)] = tree[target]
+
+    def _weighted_graph(self) -> nx.Graph:
+        graph = self._topology.graph.copy()
+        for u, v in graph.edges():
+            weight = 1.0
+            # Injection into the NS plane and NS ring hops cost epsilon more,
+            # so ties resolve to X-first routes (dimension order).
+            for vertex in (u, v):
+                if vertex[0] == "sw" and vertex[1].plane == "ns":
+                    weight += self._EW_BIAS
+            graph[u][v]["weight"] = weight
+        return graph
+
+    def path(self, src: int, dst: int) -> List[Vertex]:
+        """Full vertex path from node ``src`` to node ``dst``."""
+        if src == dst:
+            return [node_vertex(src)]
+        try:
+            return self._paths[(src, dst)]
+        except KeyError as exc:
+            raise RoutingError(f"no route {src}->{dst}") from exc
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of switch-to-switch hops on the route (excludes
+        injection/ejection)."""
+        return max(0, len(self.path(src, dst)) - 2)
+
+    def switches_on_path(self, src: int, dst: int) -> List[HalfSwitchId]:
+        return [v[1] for v in self.path(src, dst) if v[0] == "sw"]

@@ -1,0 +1,145 @@
+"""2D torus topology with half-switches.
+
+Per the paper's failed-switch fault model (Table 1 and Fig. 2), each node's
+switch is split into an east-west half (X-dimension ring links) and a
+north-south half (Y-dimension ring links), and the node has separate
+injection paths to both halves.  Killing one half-switch therefore never
+partitions the machine: traffic can be routed Y-first (or around the ring)
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class HalfSwitchId:
+    """Identifies one half-switch: ('ew'|'ns', x, y)."""
+
+    plane: str  # "ew" or "ns"
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.plane not in ("ew", "ns"):
+            raise ValueError(f"plane must be 'ew' or 'ns', got {self.plane!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.plane}({self.x},{self.y})"
+
+
+# Graph vertices are either ("node", node_id) endpoints or
+# ("sw", HalfSwitchId) half-switches.
+Vertex = Tuple[str, object]
+
+
+def node_vertex(node_id: int) -> Vertex:
+    return ("node", node_id)
+
+
+def switch_vertex(half: HalfSwitchId) -> Vertex:
+    return ("sw", half)
+
+
+class TorusTopology:
+    """Builds and owns the half-switch connectivity graph.
+
+    The graph is undirected for path computation; the network layer models
+    each undirected edge as two directed links with independent occupancy.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 2 or height < 2:
+            raise ValueError("torus must be at least 2x2")
+        self.width = width
+        self.height = height
+        self._dead: Set[HalfSwitchId] = set()
+        self._graph = self._build_graph()
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def node_id(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def coords(self, node_id: int) -> Tuple[int, int]:
+        return node_id % self.width, node_id // self.width
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def all_half_switches(self) -> Iterator[HalfSwitchId]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield HalfSwitchId("ew", x, y)
+                yield HalfSwitchId("ns", x, y)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _build_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        for y in range((self.height)):
+            for x in range(self.width):
+                nid = self.node_id(x, y)
+                ew = HalfSwitchId("ew", x, y)
+                ns = HalfSwitchId("ns", x, y)
+                g.add_node(node_vertex(nid))
+                for half in (ew, ns):
+                    if half not in self._dead:
+                        g.add_node(switch_vertex(half))
+                # Node connects to both halves (separate injection paths).
+                if ew not in self._dead:
+                    g.add_edge(node_vertex(nid), switch_vertex(ew))
+                if ns not in self._dead:
+                    g.add_edge(node_vertex(nid), switch_vertex(ns))
+                # Crossover between the two halves of one switch, for
+                # dimension turns (X-then-Y routing goes ew -> ns here).
+                if ew not in self._dead and ns not in self._dead:
+                    g.add_edge(switch_vertex(ew), switch_vertex(ns))
+        # Ring links.
+        for y in range(self.height):
+            for x in range(self.width):
+                ew = HalfSwitchId("ew", x, y)
+                ew_next = HalfSwitchId("ew", (x + 1) % self.width, y)
+                if ew not in self._dead and ew_next not in self._dead:
+                    g.add_edge(switch_vertex(ew), switch_vertex(ew_next))
+                ns = HalfSwitchId("ns", x, y)
+                ns_next = HalfSwitchId("ns", x, (y + 1) % self.height)
+                if ns not in self._dead and ns_next not in self._dead:
+                    g.add_edge(switch_vertex(ns), switch_vertex(ns_next))
+        return g
+
+    # ------------------------------------------------------------------
+    # Fault support
+    # ------------------------------------------------------------------
+    def kill_half_switch(self, half: HalfSwitchId) -> None:
+        """Permanently remove a half-switch (the paper's hard fault)."""
+        if half in self._dead:
+            return
+        self._dead.add(half)
+        self._graph = self._build_graph()
+
+    def is_dead(self, half: HalfSwitchId) -> bool:
+        return half in self._dead
+
+    @property
+    def dead_switches(self) -> Set[HalfSwitchId]:
+        return set(self._dead)
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def is_connected(self) -> bool:
+        """True if every pair of nodes can still communicate."""
+        endpoints = [node_vertex(n) for n in range(self.num_nodes)]
+        if not all(self._graph.has_node(v) for v in endpoints):
+            return False
+        comp = nx.node_connected_component(self._graph, endpoints[0])
+        return all(v in comp for v in endpoints[1:])

@@ -1,0 +1,279 @@
+"""In-order blocking processor core with SafetyNet register checkpoints.
+
+Execution model (paper §4.1): one instruction per cycle given a perfect
+memory system; memory operations block on cache misses; a store that must
+log costs eight extra cycles; a register checkpoint costs 100 cycles at
+each checkpoint-clock edge.
+
+The core executes its workload positionally: ``position`` counts retired
+instructions, and the op stream is a pure function of position, so
+SafetyNet recovery is just "restore the register checkpoint (which
+includes position) and re-execute".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.coherence.cache import CacheController
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatsRegistry
+
+# How many ops one scheduler event may process before yielding (keeps
+# event latency bounded; has no architectural meaning).
+BURST_QUANTUM = 256
+
+NUM_REGISTERS = 8
+
+
+class Core:
+    """One node's processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        config: SystemConfig,
+        cache: CacheController,
+        workload,
+        stats: StatsRegistry,
+        *,
+        next_edge_time: Optional[Callable[[], int]] = None,
+        on_target_reached: Optional[Callable[[int], None]] = None,
+        io_hooks=None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.cache = cache
+        self.workload = workload
+        self.next_edge_time = next_edge_time or (lambda: 1 << 62)
+        self.on_target_reached = on_target_reached
+        self.io_hooks = io_hooks  # optional OutputCommit/InputLog bridge
+
+        self.position = 0                    # retired instructions
+        self.registers: List[int] = [0] * NUM_REGISTERS
+        self.snapshots: Dict[int, Tuple[int, Tuple[int, ...]]] = {
+            1: (0, tuple(self.registers))
+        }
+        self.ccn = 1
+        self.rpcn = 1
+        self.epoch = 0
+
+        self.target: Optional[int] = None
+        self.done = False
+        self.frozen = False                  # recovery in progress
+        self.throttled = False               # too many outstanding checkpoints
+        self._miss_outstanding = False
+        self._stall_credit = 0               # pending stall cycles (reg ckpt)
+
+        ns = f"node{node_id}.core"
+        self.c_executed = stats.counter(f"{ns}.instructions_executed")
+        self.c_reexecuted = stats.counter(f"{ns}.instructions_reexecuted")
+        self.c_ckpt_stalls = stats.counter(f"{ns}.register_ckpt_stall_cycles")
+        self.c_throttle_stalls = stats.counter(f"{ns}.outstanding_ckpt_stalls")
+        self.c_store_stall_cycles = stats.counter(f"{ns}.clb_throttle_cycles")
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def start(self, target_instructions: int) -> None:
+        """Begin executing until ``position`` reaches the target."""
+        self.target = target_instructions
+        self.done = self.position >= target_instructions
+        if not self.done:
+            self._schedule_burst(0)
+
+    def _schedule_burst(self, delay: int) -> None:
+        epoch = self.epoch
+        self.sim.schedule_after(delay, lambda: self._burst(epoch), "core.burst")
+
+    def _blocked(self) -> bool:
+        return (
+            self.target is None          # never started (recovery can resume
+            or self.frozen               # a core that has no work assigned)
+            or self.done
+            or self.throttled
+            or self._miss_outstanding
+        )
+
+    # ------------------------------------------------------------------
+    # The burst loop: execute until a miss, an edge, or the quantum
+    # ------------------------------------------------------------------
+    def _burst(self, epoch: int) -> None:
+        if epoch != self.epoch or self._blocked():
+            return
+        if self._stall_credit:
+            delay, self._stall_credit = self._stall_credit, 0
+            self._schedule_burst(delay)
+            return
+        t = self.sim.now
+        edge = self.next_edge_time()
+        for _ in range(BURST_QUANTUM):
+            if self.position >= self.target:
+                self._schedule_finish(t)
+                return
+            gap, is_store, addr = self.workload.op(self.node_id, self.position)
+            t_issue = t + gap + 1
+            if t_issue > edge:
+                # Stop at the checkpoint edge; the edge event (already
+                # queued) fires first and applies the checkpoint stall.
+                self._schedule_burst(edge - self.sim.now)
+                return
+            if is_store:
+                value = self._store_value()
+                status, extra = self.cache.fast_access(addr, True, value)
+            else:
+                status, extra = self.cache.fast_access(addr, False, 0)
+            if status == "hit":
+                t = t_issue + extra
+                self._retire(gap, is_store, addr)
+            elif status == "throttle":
+                # CLB full: the paper's CPU-throttling backpressure.
+                self.c_store_stall_cycles.add(extra)
+                self._schedule_burst((t_issue - self.sim.now) + extra)
+                return
+            else:  # miss
+                self._miss_outstanding = True
+                issue_delay = t_issue - self.sim.now
+                value = self._store_value() if is_store else None
+                core_epoch = self.epoch
+                self.sim.schedule_after(
+                    issue_delay,
+                    lambda a=addr, s=is_store, v=value: self._issue_miss(
+                        a, s, v, core_epoch
+                    ),
+                    "core.issue_miss",
+                )
+                return
+        # Quantum exhausted: yield to other events, resume at time t.
+        self._schedule_burst(max(0, t - self.sim.now))
+
+    def _issue_miss(self, addr: int, is_store: bool, value: Optional[int],
+                    epoch: int) -> None:
+        if epoch != self.epoch or self.frozen:
+            self._miss_outstanding = False
+            return
+        gap, _, _ = self.workload.op(self.node_id, self.position)
+        self.cache.start_miss(
+            addr, is_store, value,
+            lambda g=gap, s=is_store, a=addr: self._miss_done(g, s, a, epoch),
+        )
+
+    def _miss_done(self, gap: int, is_store: bool, addr: int, epoch: int) -> None:
+        if epoch != self.epoch:
+            return
+        self._miss_outstanding = False
+        self._retire(gap, is_store, addr)
+        if not self._blocked():
+            self._schedule_burst(0)
+
+    # ------------------------------------------------------------------
+    # Retirement and architected register state
+    # ------------------------------------------------------------------
+    def _store_value(self) -> int:
+        """Deterministic store data: encodes (node, position) so tests can
+        verify exactly which write a recovered value came from."""
+        return ((self.node_id + 1) << 44) ^ self.position
+
+    def _retire(self, gap: int, is_store: bool, addr: int) -> None:
+        retired = gap + 1
+        if is_store:
+            self.registers[self.position % NUM_REGISTERS] ^= self._store_value()
+        else:
+            data = self.cache.load_value(addr)
+            if data is not None:
+                self.registers[(addr >> 6) % NUM_REGISTERS] ^= data + 1
+        self.position += retired
+        self.c_executed.add(retired)
+        if self.io_hooks is not None:
+            self.io_hooks.on_retire(self, retired)
+
+    def _schedule_finish(self, t: int) -> None:
+        """Completion is reported at the accumulated cycle time ``t``, not
+        at the burst-event time (bursts batch many 1-cycle instructions)."""
+        epoch = self.epoch
+        self.sim.schedule_after(
+            max(0, t - self.sim.now),
+            lambda: epoch == self.epoch and not self.done and self._finish(),
+            "core.finish",
+        )
+
+    def _finish(self) -> None:
+        self.done = True
+        if self.on_target_reached is not None:
+            self.on_target_reached(self.node_id)
+
+    # ------------------------------------------------------------------
+    # SafetyNet checkpoint lifecycle
+    # ------------------------------------------------------------------
+    def on_edge(self, new_ccn: int) -> None:
+        """Checkpoint-clock edge: shadow-copy the registers (and position,
+        our program counter equivalent), pay the checkpoint latency, and
+        stall if too many checkpoints await validation."""
+        self.ccn = new_ccn
+        self.snapshots[new_ccn] = (self.position, tuple(self.registers))
+        self._stall_credit += self.config.register_checkpoint_cycles
+        self.c_ckpt_stalls.add(self.config.register_checkpoint_cycles)
+        if new_ccn - self.rpcn > self.config.outstanding_checkpoints:
+            if not self.throttled:
+                self.throttled = True
+                self.c_throttle_stalls.add()
+        if not self._blocked() and not self._miss_outstanding:
+            pass  # the already-scheduled burst resumes after the edge
+
+    def on_rpcn(self, rpcn: int) -> None:
+        if rpcn <= self.rpcn:
+            return
+        self.rpcn = rpcn
+        for k in [k for k in self.snapshots if k < rpcn]:
+            del self.snapshots[k]
+        if self.io_hooks is not None and rpcn in self.snapshots:
+            # No recovery can rewind below the recovery point's position:
+            # input-log entries before it can never replay again.
+            self.io_hooks.prune_below_position(self.snapshots[rpcn][0])
+        if self.throttled and self.ccn - rpcn <= self.config.outstanding_checkpoints:
+            self.throttled = False
+            if not self._blocked():
+                self._schedule_burst(0)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def recover_to(self, rpcn: int) -> int:
+        """Restore the register checkpoint; returns lost (re-executed) work."""
+        self.epoch += 1
+        position, registers = self.snapshots[rpcn]
+        lost = self.position - position
+        if lost > 0:
+            self.c_reexecuted.add(lost)
+        self.position = position
+        self.registers = list(registers)
+        # Checkpoint numbers between the recovery point and the current
+        # clock edge now all denote the restored state (their original
+        # execution was discarded; re-execution happens in later intervals).
+        # Hardware re-latches the shadow registers; we re-seed snapshots.
+        self.snapshots = {
+            k: (position, tuple(registers)) for k in range(rpcn, self.ccn + 1)
+        }
+        self._miss_outstanding = False
+        self._stall_credit = 0
+        self.throttled = False
+        self.done = self.target is not None and self.position >= self.target
+        return max(0, lost)
+
+    def resume(self) -> None:
+        """Restart after recovery (the service controllers' restart phase)."""
+        self.frozen = False
+        if not self._blocked():
+            self._schedule_burst(0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def architected_state(self) -> Tuple[int, Tuple[int, ...]]:
+        return (self.position, tuple(self.registers))

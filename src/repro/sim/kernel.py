@@ -1,0 +1,226 @@
+"""Deterministic discrete-event simulation kernel.
+
+The whole reproduction runs on a single integer cycle clock (one cycle is
+one processor clock at the paper's 1 GHz target, i.e. 1 ns).  Components
+schedule callbacks at absolute cycles; ties are broken by insertion order so
+that every run with the same seeds is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A pending callback.
+
+    Events compare by ``(when, seq)``.  ``seq`` is an insertion counter,
+    which makes dispatch order deterministic for events scheduled at the
+    same cycle.
+    """
+
+    when: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the queue lazily)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue plus the global cycle clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10, lambda: print("at cycle 10"))
+        sim.run(limit=100)
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Event] = []
+        self._seq: int = 0
+        self._events_dispatched: int = 0
+        self._stopped: bool = False
+        self._stop_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, when: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute cycle ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event '{label}' at {when}, now is {self.now}"
+            )
+        event = Event(when=int(when), seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event '{label}'")
+        return self.schedule(self.now + delay, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self, reason: str = "") -> None:
+        """Halt the run loop after the current event returns."""
+        self._stopped = True
+        self._stop_reason = reason or None
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        return self._stop_reason
+
+    @property
+    def events_dispatched(self) -> int:
+        return self._events_dispatched
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def run(self, limit: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Dispatch events until the queue drains, ``limit`` cycles pass,
+        ``max_events`` events fire, or :meth:`stop` is called.
+
+        Returns the cycle at which the run loop stopped.
+        """
+        self._stopped = False
+        self._stop_reason = None
+        dispatched_here = 0
+        while self._queue and not self._stopped:
+            event = self._queue[0]
+            if limit is not None and event.when > limit:
+                self.now = limit
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.when < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = event.when
+            event.callback()
+            self._events_dispatched += 1
+            dispatched_here += 1
+            if max_events is not None and dispatched_here >= max_events:
+                self._stop_reason = "max_events"
+                break
+        if limit is not None and not self._queue and self.now < limit:
+            self.now = limit
+        return self.now
+
+    def step(self) -> bool:
+        """Dispatch exactly one (non-cancelled) event.  Returns False when
+        the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.when
+            event.callback()
+            self._events_dispatched += 1
+            return True
+        return False
+
+    def drain_matching(self, predicate: Callable[[Event], bool]) -> int:
+        """Cancel every queued event matching ``predicate``.
+
+        Used by recovery to discard in-flight network/protocol events.
+        Returns the number of events cancelled.
+        """
+        cancelled = 0
+        for event in self._queue:
+            if not event.cancelled and predicate(event):
+                event.cancel()
+                cancelled += 1
+        return cancelled
+
+
+class Ticker:
+    """A repeating event helper (e.g. the checkpoint clock).
+
+    The callback receives the tick index.  Re-arms itself unless stopped.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        callback: Callable[[int], None],
+        *,
+        phase: int = 0,
+        label: str = "ticker",
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"ticker period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._tick = 0
+        self._running = False
+        self._event: Optional[Event] = None
+        self._phase = phase
+
+    @property
+    def period(self) -> int:
+        return self._period
+
+    @property
+    def ticks(self) -> int:
+        return self._tick
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        first = self._sim.now + self._phase
+        if self._phase == 0:
+            first = self._sim.now + self._period
+        self._event = self._sim.schedule(first, self._fire, self._label)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        index = self._tick
+        self._tick += 1
+        self._callback(index)
+        if self._running:
+            self._event = self._sim.schedule_after(self._period, self._fire, self._label)
+
+
+def quiesce(sim: Simulator, limit: int, check: Callable[[], bool], step: int = 1000) -> bool:
+    """Run the simulator until ``check()`` is true or ``limit`` is reached.
+
+    Polls ``check`` every ``step`` cycles.  Returns True if the condition
+    held before the limit.
+    """
+    while sim.now < limit:
+        if check():
+            return True
+        sim.run(limit=min(limit, sim.now + step))
+        if not sim.pending() and not check():
+            return check()
+    return check()

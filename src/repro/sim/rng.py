@@ -1,0 +1,76 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (workload generators, perturbation of memory
+latencies per the Alameldeen methodology, fault injectors) draws from its own
+seeded stream so that runs are reproducible and components are independent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+class DeterministicRng:
+    """A thin wrapper over :class:`random.Random` with checkpoint support.
+
+    SafetyNet register checkpoints must capture *all* per-processor
+    architected state; in this reproduction the workload generator's RNG is
+    part of that state (so re-execution after recovery replays the same
+    instruction stream).  ``snapshot``/``restore`` expose that.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- draws ---------------------------------------------------------
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence):
+        return seq[self._rng.randrange(len(seq))]
+
+    def randrange(self, n: int) -> int:
+        return self._rng.randrange(n)
+
+    def expovariate(self, lam: float) -> float:
+        return self._rng.expovariate(lam)
+
+    def shuffle(self, seq: List) -> None:
+        self._rng.shuffle(seq)
+
+    def zipf_index(self, n: int, alpha: float, cdf: Sequence[float]) -> int:
+        """Draw an index in [0, n) from a precomputed Zipf CDF."""
+        u = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- checkpointing -------------------------------------------------
+    def snapshot(self) -> Tuple:
+        return self._rng.getstate()
+
+    def restore(self, state: Tuple) -> None:
+        self._rng.setstate(state)
+
+
+def spawn_streams(root_seed: int, names: Sequence[str]) -> Dict[str, DeterministicRng]:
+    """Derive one independent stream per name from a root seed.
+
+    Child seeds are drawn from a root stream, so adding a name at the end of
+    the list does not perturb earlier streams' seeds ordering.
+    """
+    root = random.Random(root_seed)
+    streams: Dict[str, DeterministicRng] = {}
+    for name in names:
+        streams[name] = DeterministicRng(root.randrange(2**63))
+    return streams

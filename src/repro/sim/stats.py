@@ -1,0 +1,197 @@
+"""Statistics collection for the simulator.
+
+Components register named counters/histograms in a :class:`StatsRegistry`.
+The benchmark harness reads these to regenerate the paper's tables and
+figures (e.g. Fig. 6 needs "stores that use the CLB per 1000 instructions";
+Fig. 7 needs a cache-bandwidth breakdown).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A simple sample accumulator with mean/stddev/percentiles."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        k = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[k]
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class BandwidthMeter:
+    """Byte accounting split by traffic class.
+
+    Fig. 7 decomposes cache data-array bandwidth into hits, fills,
+    coherence responses, and logging reads; this meter generalises that.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._bytes: Dict[str, int] = defaultdict(int)
+
+    def add(self, kind: str, nbytes: int) -> None:
+        self._bytes[kind] += nbytes
+
+    def total(self) -> int:
+        return sum(self._bytes.values())
+
+    def by_kind(self) -> Dict[str, int]:
+        return dict(self._bytes)
+
+    def fraction(self, kind: str) -> float:
+        total = self.total()
+        return self._bytes.get(kind, 0) / total if total else 0.0
+
+    def reset(self) -> None:
+        self._bytes.clear()
+
+
+class StatsRegistry:
+    """Namespaced registry of counters/histograms/meters.
+
+    Names are dotted paths, e.g. ``node3.cache.stores_logged``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._meters: Dict[str, BandwidthMeter] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def meter(self, name: str) -> BandwidthMeter:
+        if name not in self._meters:
+            self._meters[name] = BandwidthMeter(name)
+        return self._meters[name]
+
+    # -- aggregation ---------------------------------------------------
+    def counters_matching(self, suffix: str) -> Dict[str, int]:
+        """All counters whose dotted name ends with ``suffix``."""
+        return {
+            name: c.value for name, c in self._counters.items() if name.endswith(suffix)
+        }
+
+    def sum_counters(self, suffix: str) -> int:
+        return sum(self.counters_matching(suffix).values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of every counter value and histogram mean."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, h in self._histograms.items():
+            out[f"{name}.mean"] = h.mean
+            out[f"{name}.count"] = h.count
+        for name, m in self._meters.items():
+            for kind, nbytes in m.by_kind().items():
+                out[f"{name}.{kind}"] = nbytes
+        return out
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for h in self._histograms.values():
+            h.reset()
+        for m in self._meters.values():
+            m.reset()
+
+
+@dataclass
+class RunSummary:
+    """End-of-run metrics the analysis layer consumes (one seed, one config)."""
+
+    cycles: int
+    committed_instructions: int
+    reexecuted_instructions: int = 0
+    recoveries: int = 0
+    crashed: bool = False
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def performance(self) -> float:
+        """Useful work per cycle (committed instructions / cycles)."""
+        if self.crashed or self.cycles == 0:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+
+def mean_and_stddev(values: Iterable[float]) -> Tuple[float, float]:
+    vals = list(values)
+    if not vals:
+        return 0.0, 0.0
+    mu = sum(vals) / len(vals)
+    if len(vals) < 2:
+        return mu, 0.0
+    var = sum((v - mu) ** 2 for v in vals) / (len(vals) - 1)
+    return mu, math.sqrt(var)

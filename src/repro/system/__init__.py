@@ -1,0 +1,14 @@
+"""System assembly: nodes, the 16-way machine, and fault campaigns."""
+
+from repro.system.node import IoHooks, Node
+from repro.system.machine import Machine, RunResult
+from repro.system.faults import hard_fault_campaign, transient_fault_campaign
+
+__all__ = [
+    "Node",
+    "IoHooks",
+    "Machine",
+    "RunResult",
+    "transient_fault_campaign",
+    "hard_fault_campaign",
+]

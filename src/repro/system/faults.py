@@ -1,0 +1,51 @@
+"""Fault campaigns: the paper's three performance experiments (§4.2).
+
+Each helper builds a machine for one bar of Fig. 5:
+
+* fault-free (protected or unprotected),
+* transient faults — dropped messages at a fixed period (Experiment 2),
+* a hard fault — a half-switch dies, losing its buffered messages
+  (Experiment 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.interconnect.topology import HalfSwitchId
+from repro.system.machine import Machine
+
+
+def transient_fault_campaign(
+    config: SystemConfig,
+    workload,
+    *,
+    seed: int = 1,
+    period: int = 100_000_000,
+    first_at: Optional[int] = None,
+    count: Optional[int] = None,
+) -> Machine:
+    """Machine with periodic dropped-message transients (Experiment 2).
+
+    The paper drops one message every 100M cycles ("ten per second").
+    Scaled runs compress the period; EXPERIMENTS.md explains how measured
+    overhead extrapolates back to the paper's fault rate.
+    """
+    machine = Machine(config, workload, seed=seed)
+    machine.inject_transient_faults(period, first_at=first_at, count=count)
+    return machine
+
+
+def hard_fault_campaign(
+    config: SystemConfig,
+    workload,
+    *,
+    seed: int = 1,
+    at_cycle: int = 1_000_000,
+    half: Optional[HalfSwitchId] = None,
+) -> Machine:
+    """Machine that loses a half-switch at ``at_cycle`` (Experiment 3)."""
+    machine = Machine(config, workload, seed=seed)
+    machine.inject_switch_kill(half, at_cycle=at_cycle)
+    return machine

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_config_scaled_and_paper():
+    code, text = run_cli(["config"])
+    assert code == 0
+    assert "Checkpoint Log Buffer" in text
+    code, text = run_cli(["config", "--paper"])
+    assert code == 0
+    assert "512 kbytes" in text
+    assert "100,000 cycles" in text
+
+
+def test_character_lists_all_workloads():
+    code, text = run_cli(["character"])
+    assert code == 0
+    for name in ("jbb", "apache", "slashcode", "oltp", "barnes"):
+        assert name in text
+
+
+def test_run_fault_free_small():
+    code, text = run_cli([
+        "run", "--workload", "apache", "--instructions", "2500",
+        "--warmup", "0", "--scale", "64",
+    ])
+    assert code == 0
+    assert "completed" in text and "True" in text
+    assert "recoveries" in text
+
+
+def test_run_transient_fault_survives():
+    code, text = run_cli([
+        "run", "--workload", "oltp", "--instructions", "3000",
+        "--warmup", "0", "--scale", "64",
+        "--fault", "transient", "--period", "30000", "--fault-at", "15000",
+    ])
+    assert code == 0
+    assert "CRASH" not in text
+
+
+def test_run_unprotected_with_fault_reports_expected_crash():
+    code, text = run_cli([
+        "run", "--workload", "oltp", "--instructions", "50000",
+        "--warmup", "0", "--scale", "64", "--unprotected",
+        "--fault", "transient", "--period", "30000", "--fault-at", "15000",
+    ])
+    assert code == 0  # crash is the expected baseline outcome
+    assert "CRASH" in text
+
+
+def test_run_with_overrides():
+    code, text = run_cli([
+        "run", "--workload", "jbb", "--instructions", "2000",
+        "--warmup", "0", "--scale", "64",
+        "--interval", "5000", "--clb-kb", "16",
+    ])
+    assert code == 0
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--workload", "tpch"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

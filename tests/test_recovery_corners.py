@@ -1,0 +1,137 @@
+"""Recovery corner cases: double faults, initial-state rollback, and
+rollback interactions with run control."""
+
+from repro.interconnect.messages import MessageKind
+from repro.workloads import apache, oltp
+from tests.conftest import Driver, tiny_machine
+
+
+def test_fault_during_recovery_window_is_subsumed():
+    """Multiple detections of one underlying fault must produce one
+    recovery (the paper's service controllers broadcast once)."""
+    machine = tiny_machine()
+    machine.clock.start()
+    for node in machine.nodes:
+        node.validation.start()
+    for node in machine.nodes:
+        node.core.start(50_000)
+    machine.sim.run(limit=10_000)
+    machine.recovery.report_fault("first detection")
+    machine.recovery.report_fault("second detection (same fault)")
+    machine.recovery.report_fault("third detection")
+    machine.sim.run(limit=60_000)
+    assert machine.recovery.stats.recoveries == 1
+    assert machine.recovery.stats.faults_reported == 3
+
+
+def test_recovery_to_initial_checkpoint_restores_pristine_state():
+    """A fault before any validation rolls back to checkpoint 1: the
+    machine's boot state (all memory zero, no owners, cores at zero)."""
+    machine = tiny_machine(workload=oltp(num_cpus=4, scale=64, seed=3), seed=3)
+    machine.clock.start()
+    for node in machine.nodes:
+        node.core.start(5_000)
+    # No validation agents started: the recovery point stays at 1.
+    machine.sim.run(limit=9_000)
+    assert any(node.core.position > 0 for node in machine.nodes)
+    machine.recovery.report_fault("early fault")
+    machine.sim.run(limit=60_000)
+    for node in machine.nodes:
+        position, registers = node.core.architected_state()
+        assert position == 0
+        assert all(r == 0 for r in registers)
+        assert node.cache.owned_state() == {}
+        assert all(e.owner is None for e in node.home.directory.values())
+        assert all(v == 0 for v in node.home.values.values())
+    machine.check_coherence_invariants()
+
+
+def test_back_to_back_recoveries():
+    machine = tiny_machine(workload=apache(num_cpus=4, scale=64, seed=4), seed=4)
+    result_holder = {}
+
+    def second_fault():
+        if machine.is_active() and not machine.recovery.recovering:
+            machine.recovery.report_fault("second fault, just after restart")
+
+    machine.sim.schedule(9_000, lambda: machine.recovery.report_fault("first"))
+    machine.sim.schedule(16_000, second_fault)
+    result = machine.run(instructions_per_cpu=5_000, max_cycles=2_000_000)
+    assert result.completed and not result.crashed
+    assert machine.recovery.stats.recoveries == 2
+    machine.check_coherence_invariants()
+
+
+def test_recovery_clears_writeback_buffers():
+    d = Driver(tiny_machine())
+    cache = d.machine.nodes[1].cache
+    d.access(1, 0x1000, is_store=True, value=5)
+    bucket = cache._set_of(0x1000)
+    assert cache._start_writeback(bucket[0x1000], bucket)
+    assert cache.wb_buffer
+    d.machine.recovery.report_fault("mid-writeback fault")
+    d.sim.run(limit=d.sim.now + 60_000)
+    assert not cache.wb_buffer
+    assert not cache.wb_txns
+    # Nothing validated before the fault, so recovery goes to checkpoint 1
+    # (boot state): the store and its writeback vanish consistently.
+    assert d.machine.memory_value(0x1000) == 0
+    assert d.machine.owner_of(0x1000) is None
+    d.machine.check_coherence_invariants()
+
+
+def test_finished_core_rolled_back_finishes_again():
+    machine = tiny_machine(workload=apache(num_cpus=4, scale=64, seed=6), seed=6)
+
+    state = {}
+
+    def late_fault():
+        # Fire once some core has already finished.
+        if any(n.core.done for n in machine.nodes) and not state.get("fired"):
+            state["fired"] = True
+            machine.recovery.report_fault("post-completion fault")
+        elif machine.is_active():
+            machine.sim.schedule_after(500, late_fault)
+
+    machine.sim.schedule(500, late_fault)
+    result = machine.run(instructions_per_cpu=3_000, max_cycles=2_000_000)
+    assert result.completed and not result.crashed
+    if state.get("fired"):
+        assert machine.recovery.stats.recoveries == 1
+        # Every core re-reached its target after the rollback.
+        for node in machine.nodes:
+            assert node.core.position >= 3_000
+
+
+def test_transaction_in_flight_at_drain_is_discarded():
+    """A transaction still on the wire when the recovery drain happens
+    must vanish completely: no completion, no MSHR, no home busy state."""
+    # Short broadcast latency so the drain beats the remote round trip.
+    d = Driver(tiny_machine(service_broadcast_latency=50))
+    cache = d.machine.nodes[0].cache
+    remote_block = 0x80  # home = node 2: a multi-hop transaction
+    done = []
+    cache.start_miss(remote_block, True, 42, lambda: done.append(1))
+    d.machine.recovery.report_fault("race with in-flight transaction")
+    d.sim.run(limit=d.sim.now + 60_000)
+    assert not done  # the transaction died with the recovery
+    assert not cache.mshrs
+    assert not d.machine.nodes[2].home.busy
+    d.machine.check_coherence_invariants()
+
+
+def test_transaction_completing_in_detection_window_rolls_back():
+    """The window between fault detection and the recovery broadcast lets
+    nearly-finished transactions complete; recovery must still erase
+    their effects (they are unvalidated by definition)."""
+    d = Driver(tiny_machine())
+    cache = d.machine.nodes[0].cache
+    local_block = 0x0  # home = node 0: completes within the window
+    done = []
+    cache.start_miss(local_block, True, 42, lambda: done.append(1))
+    d.machine.recovery.report_fault("fault elsewhere")
+    d.sim.run(limit=d.sim.now + 60_000)
+    assert done  # it really did complete inside the window...
+    assert cache.lookup(local_block) is None  # ...and was rolled back
+    assert d.machine.memory_value(local_block) == 0
+    d.machine.check_coherence_invariants()

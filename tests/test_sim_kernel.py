@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Event, SimulationError, Simulator, Ticker, quiesce
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.schedule(5, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(5, lambda: None)
+
+
+def test_schedule_after_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-1, lambda: None)
+
+
+def test_run_with_limit_stops_at_limit():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(1))
+    sim.run(limit=50)
+    assert not fired
+    assert sim.now == 50
+    sim.run(limit=200)
+    assert fired == [1]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(10, lambda: fired.append(1))
+    ev.cancel()
+    sim.run()
+    assert not fired
+
+
+def test_stop_halts_mid_run():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.stop("enough")
+
+    sim.schedule(1, first)
+    sim.schedule(2, lambda: seen.append("second"))
+    sim.run()
+    assert seen == ["first"]
+    assert sim.stop_reason == "enough"
+    sim.run()  # resumes
+    assert seen == ["first", "second"]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 5:
+            sim.schedule_after(10, lambda: chain(n + 1))
+
+    sim.schedule(0, lambda: chain(0))
+    sim.run()
+    assert hits == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_drain_matching_cancels_by_label():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: fired.append("keep"), label="keep")
+    sim.schedule(6, lambda: fired.append("drop"), label="net.hop")
+    cancelled = sim.drain_matching(lambda e: e.label.startswith("net."))
+    assert cancelled == 1
+    sim.run()
+    assert fired == ["keep"]
+
+
+def test_ticker_fires_periodically():
+    sim = Simulator()
+    ticks = []
+    ticker = Ticker(sim, period=100, callback=ticks.append)
+    ticker.start()
+    sim.run(limit=550)
+    assert ticks == [0, 1, 2, 3, 4]
+    ticker.stop()
+    sim.schedule(2000, lambda: None)
+    sim.run()
+    assert ticks == [0, 1, 2, 3, 4]
+
+
+def test_ticker_phase_offsets_first_tick():
+    sim = Simulator()
+    times = []
+    ticker = Ticker(sim, period=100, callback=lambda i: times.append(sim.now), phase=7)
+    ticker.start()
+    sim.run(limit=320)
+    assert times == [7, 107, 207, 307]
+
+
+def test_ticker_rejects_bad_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Ticker(sim, period=0, callback=lambda i: None)
+
+
+def test_quiesce_polls_until_condition():
+    sim = Simulator()
+    state = {"done": False}
+
+    def finish():
+        state["done"] = True
+
+    sim.schedule(5000, finish)
+    assert quiesce(sim, limit=10_000, check=lambda: state["done"], step=100)
+    assert not quiesce(Simulator(), limit=10, check=lambda: False)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_dispatched == 3

@@ -1,0 +1,120 @@
+"""Tests for pipelined checkpoint validation and its coordination."""
+
+import pytest
+
+from repro.interconnect.messages import MessageKind
+from repro.workloads import apache
+from tests.conftest import Driver, tiny_machine
+
+
+def started_driver(**kw) -> Driver:
+    d = Driver(tiny_machine(**kw))
+    d.start_safetynet()
+    return d
+
+
+def test_recovery_point_advances_in_background():
+    d = started_driver()
+    interval = d.machine.config.checkpoint_interval
+    d.sim.run(limit=6 * interval)
+    # With no open transactions, validation tracks the clock closely.
+    assert d.machine.controllers.rpcn >= 4
+    assert d.machine.controllers.rpcn <= d.machine.clock.ccn(0)
+
+
+def test_rpcn_never_exceeds_any_nodes_ccn():
+    d = started_driver()
+    interval = d.machine.config.checkpoint_interval
+    for _ in range(8):
+        d.sim.run(limit=d.sim.now + interval)
+        min_ccn = min(d.machine.clock.ccn(n) for n in range(4))
+        assert d.machine.controllers.rpcn <= min_ccn
+
+
+def test_validation_deallocates_clb_segments():
+    d = started_driver()
+    cache = d.machine.nodes[1].cache
+    d.access(1, 0x40, is_store=True, value=1)
+    # Make the store log in the *current* interval at node 1.
+    cache.on_rpcn(cache.rpcn)  # no-op, keeps state consistent
+    d.access(1, 0x40, is_store=True, value=2)
+    interval = d.machine.config.checkpoint_interval
+    d.sim.run(limit=d.sim.now + 8 * interval)
+    # All logged state belonged to long-validated intervals: freed.
+    assert cache.clb.occupancy == 0
+    assert d.machine.nodes[0].home.clb.occupancy == 0
+
+
+def test_open_transaction_blocks_validation():
+    # Long timeout so the blocked request does not trigger a recovery
+    # (which would legitimately clear the blocker and let rpcn advance).
+    d = started_driver(request_timeout=500_000, watchdog_timeout=10**9)
+    cache = d.machine.nodes[1].cache
+    # Open a transaction and never let it complete: drop all GETS.
+    d.machine.network.add_drop_hook(
+        lambda msg, vertex: msg.kind == MessageKind.GETS
+    )
+    start_interval = cache.ccn
+    cache.start_miss(0x5000, False, None, lambda: None)
+    interval = d.machine.config.checkpoint_interval
+    d.sim.run(limit=d.sim.now + 6 * interval)
+    # The recovery point may advance up to the transaction's interval but
+    # never past it (paper: "any lost message will prevent recovery point
+    # advancement").
+    assert d.machine.controllers.rpcn <= start_interval
+
+
+def test_block_cns_cleared_on_validation():
+    d = started_driver()
+    d.access(1, 0x40, is_store=True, value=9)
+    cache = d.machine.nodes[1].cache
+    assert cache.lookup(0x40).cn is not None
+    interval = d.machine.config.checkpoint_interval
+    d.sim.run(limit=d.sim.now + 8 * interval)
+    # Deallocation cleared the CN: the block now belongs to the recovery
+    # point and all subsequent checkpoints (paper Fig. 4 endgame).
+    assert cache.lookup(0x40).cn is None
+
+
+def test_detection_latency_delays_validation():
+    from repro.config import SystemConfig
+    from repro.system.machine import Machine
+
+    cfg = SystemConfig.tiny()
+    wl = apache(num_cpus=4, scale=64)
+    fast = Machine(cfg, wl, seed=1, detection_latency=0)
+    slow = Machine(cfg, wl, seed=1,
+                   detection_latency=3 * cfg.checkpoint_interval)
+    for machine in (fast, slow):
+        machine.clock.start()
+        for node in machine.nodes:
+            node.validation.start()
+        machine.sim.run(limit=8 * cfg.checkpoint_interval)
+    assert slow.controllers.rpcn < fast.controllers.rpcn
+    # The slow detector still makes progress — validation is pipelined, so
+    # long detection latency costs lag, not throughput (paper §2.4).
+    assert slow.controllers.rpcn > 1
+
+
+def test_register_checkpoints_pruned_to_outstanding_window():
+    d = started_driver()
+    for node in d.machine.nodes:
+        node.core.start(10**9)
+    interval = d.machine.config.checkpoint_interval
+    d.sim.run(limit=10 * interval)
+    for node in d.machine.nodes:
+        snaps = sorted(node.core.snapshots)
+        assert snaps[0] >= d.machine.nodes[0].core.rpcn
+        # Bounded by the outstanding-checkpoint limit (+ the current one).
+        assert len(snaps) <= d.machine.config.outstanding_checkpoints + 2
+
+
+def test_validation_coordination_messages_ride_the_network():
+    d = started_driver()
+    interval = d.machine.config.checkpoint_interval
+    before = d.machine.stats.counter("net.messages_sent").value
+    d.sim.run(limit=4 * interval)
+    after = d.machine.stats.counter("net.messages_sent").value
+    # VALIDATE_READY + RPCN broadcasts flow even with idle cores (the paper
+    # explicitly models contention from validation coordination).
+    assert after - before >= 8
