@@ -34,6 +34,30 @@ class BenchProfile:
     scale: int = 16           # machine + workload scaling factor
     max_cycles: int = 30_000_000
 
+    @property
+    def jobs(self) -> int:
+        """Worker processes for campaign-style benches (REPRO_BENCH_JOBS).
+
+        Per-run results are independent of the job count (each run is an
+        isolated deterministic simulation), so parallelism only changes
+        wall-clock time.
+        """
+        raw = os.environ.get("REPRO_BENCH_JOBS")
+        if raw is not None:
+            return max(1, int(raw))
+        return min(4, os.cpu_count() or 1)
+
+    def base_spec(self, **changes):
+        """A RunSpec carrying this profile's methodology defaults."""
+        from repro.experiments import RunSpec
+
+        return RunSpec(
+            instructions=self.measure_instructions,
+            warmup=self.warmup_instructions,
+            scale=self.scale,
+            max_cycles=self.max_cycles,
+        ).with_(**changes)
+
 
 def current_profile() -> BenchProfile:
     name = os.environ.get("REPRO_BENCH_PROFILE", "quick")

@@ -16,18 +16,19 @@ Scaled runs compress the fault period (the paper's one-per-100M-cycles
 would mean zero faults in a short simulation); the harness also prints
 the overhead *extrapolated back to the paper's fault rate* from measured
 lost-work per recovery.
+
+The whole figure is one ``repro.experiments`` campaign: every (workload,
+bar, seed) cell becomes a hashable RunSpec and the Runner fans the runs
+out over worker processes (REPRO_BENCH_JOBS to override).
 """
 
 from repro.analysis import (
-    MeasuredBar,
     ascii_bar_chart,
     extrapolate_transient_overhead,
     normalized_performance,
-    run_many_seeds,
 )
-from repro.config import SystemConfig
-from repro.system.machine import Machine
-from repro.workloads import WORKLOAD_NAMES, by_name
+from repro.experiments import Runner
+from repro.workloads import WORKLOAD_NAMES
 
 from benchmarks.conftest import run_once
 
@@ -36,34 +37,24 @@ TRANSIENT_PERIOD = 60_000
 HARD_FAULT_AT = 50_000
 
 
-def run_workload(name: str, profile):
-    cfg_sn = SystemConfig.sim_scaled(profile.scale)
-    cfg_un = cfg_sn.with_overrides(safetynet_enabled=False)
-    wl = lambda seed: by_name(name, num_cpus=16, scale=profile.scale, seed=seed)
-    measure = profile.measure_instructions
-    warm = profile.warmup_instructions
-
-    def runner(config, fault=None):
-        def build_and_run(seed):
-            machine = Machine(config, wl(seed), seed=seed)
-            if fault == "transient":
-                machine.inject_transient_faults(
-                    period=TRANSIENT_PERIOD, first_at=TRANSIENT_PERIOD // 2
-                )
-            elif fault == "hard":
-                machine.inject_switch_kill(at_cycle=HARD_FAULT_AT)
-            return machine.run_with_warmup(warm, measure,
-                                           max_cycles=profile.max_cycles)
-        return build_and_run
-
+def bar_specs(name: str, profile):
+    """The five Fig. 5 bars for one workload, as RunSpec lists."""
+    base = profile.base_spec(workload=name)
+    transient = dict(fault="transient", fault_period=TRANSIENT_PERIOD,
+                     fault_at=TRANSIENT_PERIOD // 2)
     seeds = profile.seeds
-    results = {
-        "unprot_ff": [runner(cfg_un)(s) for s in seeds],
-        "unprot_fault": [runner(cfg_un, "transient")(seeds[0])],
-        "sn_ff": [runner(cfg_sn)(s) for s in seeds],
-        "sn_transient": [runner(cfg_sn, "transient")(s) for s in seeds],
-        "sn_hard": [runner(cfg_sn, "hard")(seeds[0])],
+    return {
+        "unprot_ff": [base.with_(safetynet=False, seed=s) for s in seeds],
+        "unprot_fault": [base.with_(safetynet=False, seed=seeds[0],
+                                    **transient)],
+        "sn_ff": [base.with_(seed=s) for s in seeds],
+        "sn_transient": [base.with_(seed=s, **transient) for s in seeds],
+        "sn_hard": [base.with_(seed=seeds[0], fault="switch",
+                               fault_at=HARD_FAULT_AT)],
     }
+
+
+def summarise_workload(name: str, results):
     base = results["unprot_ff"]
     bars = {
         "Unprotected fault-free":
@@ -83,7 +74,21 @@ def run_workload(name: str, profile):
 
 def test_fig5_performance_evaluation(benchmark, profile):
     def experiment():
-        return {name: run_workload(name, profile) for name in WORKLOAD_NAMES}
+        # One flat campaign covering every workload x bar x seed; the
+        # runner executes it with a process pool and hands the records
+        # back in spec order.
+        campaign = {name: bar_specs(name, profile) for name in WORKLOAD_NAMES}
+        flat = [spec for bars in campaign.values()
+                for specs in bars.values() for spec in specs]
+        records = iter(Runner(jobs=profile.jobs).run(flat))
+        out = {}
+        for name, bars in campaign.items():
+            results = {
+                bar: [next(records).to_run_result() for _ in specs]
+                for bar, specs in bars.items()
+            }
+            out[name] = summarise_workload(name, results)
+        return out
 
     all_results = run_once(experiment, benchmark)
 

@@ -6,12 +6,15 @@ equally, 256 kB degrades jbb and apache first.  The scaled equivalent
 keeps the same ratios to the scaled checkpoint interval.  Degradation
 appears as CLB backpressure: store throttling, NACKs, and in the extreme
 watchdog recoveries.
+
+The sweep is a ``repro.experiments`` campaign: workloads x CLB sizes
+expand into RunSpecs and execute through the parallel Runner; the
+backpressure diagnostics ride along in each record's harvested metrics.
 """
 
-from repro.analysis import ascii_bar_chart, format_table
-from repro.config import SystemConfig
-from repro.system.machine import Machine
-from repro.workloads import WORKLOAD_NAMES, by_name
+from repro.analysis import format_table
+from repro.experiments import Runner, Sweep
+from repro.workloads import WORKLOAD_NAMES
 
 from benchmarks.conftest import run_once
 
@@ -29,44 +32,38 @@ SIZES = {
 }
 
 
-def run_point(name: str, clb_bytes: int, profile):
+def sweep_specs(profile) -> Sweep:
     # The livelock guard is disabled: undersized CLBs should *degrade*
     # (stalls, NACKs, watchdog recoveries), never convert to a crash —
     # that is the paper's "sized for performance, not correctness".
-    cfg = SystemConfig.sim_scaled(
-        profile.scale, clb_size_bytes=clb_bytes, max_recoveries=10**9
-    )
-    machine = Machine(cfg, by_name(name, num_cpus=16, scale=profile.scale,
-                                   seed=1), seed=1)
-    result = machine.run_with_warmup(
-        profile.warmup_instructions, profile.measure_instructions,
+    base = profile.base_spec(
+        seed=1,
         max_cycles=min(profile.max_cycles, 8_000_000),
+        config_overrides=(("max_recoveries", 10**9),),
     )
-    backpressure = (
-        machine.stats.sum_counters(".store_throttles")
-        + machine.stats.sum_counters(".nacks_sent")
-        + machine.stats.sum_counters(".fwd_clb_stalls")
-    )
-    return result, backpressure
+    return Sweep(base=base,
+                 grid={"workload": list(WORKLOAD_NAMES),
+                       "clb_bytes": list(SIZES.values())},
+                 seeds=[1])
 
 
-def work_rate(result) -> float:
-    """Committed instructions per cycle — defined even for runs that were
-    still limping along when the cycle budget expired."""
-    if result.crashed or result.cycles == 0:
-        return 0.0
-    return result.committed_instructions / result.cycles
+def backpressure(record) -> int:
+    return int(record.metrics["store_throttles"]
+               + record.metrics["nacks_sent"]
+               + record.metrics["fwd_clb_stalls"])
 
 
 def test_fig8_performance_vs_clb_size(benchmark, profile):
     def experiment():
-        out = {}
-        for name in WORKLOAD_NAMES:
-            out[name] = {
-                label: run_point(name, size, profile)
-                for label, size in SIZES.items()
-            }
-        return out
+        sweep = sweep_specs(profile)
+        specs = sweep.expand()
+        records = Runner(jobs=profile.jobs).run(specs)
+        by_cell = {(r.spec.workload, r.spec.clb_bytes): r for r in records}
+        return {
+            name: {label: by_cell[(name, size)]
+                   for label, size in SIZES.items()}
+            for name in WORKLOAD_NAMES
+        }
 
     data = run_once(experiment, benchmark)
 
@@ -75,14 +72,14 @@ def test_fig8_performance_vs_clb_size(benchmark, profile):
     rows = []
     normalized = {}
     for name in WORKLOAD_NAMES:
-        base_rate = work_rate(data[name]["2x design"][0])
+        base_rate = data[name]["2x design"].work_rate
         normalized[name] = {}
         for label in SIZES:
-            result, backpressure = data[name][label]
-            perf = work_rate(result) / base_rate if base_rate else 0.0
+            record = data[name][label]
+            perf = record.work_rate / base_rate if base_rate else 0.0
             normalized[name][label] = perf
-            rows.append((name, label, f"{perf:.3f}", backpressure,
-                         result.recoveries))
+            rows.append((name, label, f"{perf:.3f}", backpressure(record),
+                         record.recoveries))
     print(format_table(
         ["workload", "CLB size", "normalized perf", "backpressure events",
          "recoveries"],

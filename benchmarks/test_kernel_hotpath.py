@@ -1,0 +1,77 @@
+"""Event-loop hot-path guard.
+
+Every simulated cycle of every component funnels through
+``Simulator.run``'s heap pop, so regressions here multiply across the
+whole reproduction.  The kernel keeps bare ``(when, seq, event)`` tuples
+on the heap precisely so sifting compares machine integers; swapping the
+entries back to rich-compared objects costs ~25% of end-to-end simulator
+throughput, which this guard would catch.
+
+The floor is set ~4x below the throughput measured on a modest dev
+machine (~1M events/s) so that CI noise never trips it while a real
+hot-path regression still does.
+"""
+
+from repro.sim.kernel import Simulator
+
+# Dispatches per measured run; large enough to amortise setup noise.
+EVENTS = 200_000
+
+# Conservative floor (events/second).  A genuine hot-path regression
+# (e.g. per-comparison callbacks during heap sifting) costs well over
+# the slack this leaves for slow CI hardware.
+MIN_EVENTS_PER_SECOND = 150_000
+
+
+def _self_scheduling_chain(n: int) -> Simulator:
+    """A worst-case-ish queue: every dispatch schedules another event."""
+    sim = Simulator()
+    remaining = [n]
+
+    def fire() -> None:
+        remaining[0] -= 1
+        if remaining[0]:
+            sim.schedule_after(1, fire, "hotpath")
+
+    sim.schedule(1, fire, "hotpath")
+    return sim
+
+
+def test_event_loop_throughput(benchmark):
+    def run_chain():
+        sim = _self_scheduling_chain(EVENTS)
+        sim.run()
+        assert sim.events_dispatched == EVENTS
+        return sim
+
+    sim = benchmark(run_chain)
+    seconds = benchmark.stats["mean"]
+    rate = EVENTS / seconds
+    print(f"\nkernel event loop: {rate:,.0f} events/s "
+          f"({seconds * 1e9 / EVENTS:.0f} ns/event)")
+    assert rate > MIN_EVENTS_PER_SECOND, (
+        f"event loop regressed to {rate:,.0f} events/s "
+        f"(floor {MIN_EVENTS_PER_SECOND:,})"
+    )
+
+
+def test_dense_same_cycle_bursts(benchmark):
+    """Many events at the same cycle (tie-broken by seq) — the pattern
+    network fan-out produces; exercises heap behaviour under ties."""
+    BURSTS, PER_BURST = 200, 100
+
+    def run_bursts():
+        sim = Simulator()
+        fired = [0]
+
+        def fire() -> None:
+            fired[0] += 1
+
+        for burst in range(BURSTS):
+            for _ in range(PER_BURST):
+                sim.schedule(burst * 10 + 5, fire, "burst")
+        sim.run()
+        assert fired[0] == BURSTS * PER_BURST
+        return sim
+
+    benchmark(run_bursts)

@@ -5,11 +5,19 @@ Sweeps CLB capacity for one workload and shows runtime plus the
 backpressure mechanisms that kick in when the CLB is too small: CPU store
 throttling and NACKed coherence requests.
 
-Run:  python examples/clb_sizing_sweep.py
+The sweep runs through ``repro.experiments``: each (size, seed) cell is a
+declarative RunSpec, the Runner executes them across worker processes,
+and with ``--out`` the campaign becomes resumable — interrupt it and
+re-run, and completed cells are skipped (checkpoint/recovery for the
+experiment harness itself).
+
+Run:  python examples/clb_sizing_sweep.py [--jobs 4] [--out clb.jsonl]
 """
 
-from repro import Machine, SystemConfig, workloads
+import argparse
+
 from repro.analysis import format_table
+from repro.experiments import ResultStore, Runner, RunSpec, Sweep
 
 # jbb's allocation-streaming stores pressure the CLB hardest (the paper's
 # Fig. 8 shows jbb degrading first as CLBs shrink).  The sweep dives well
@@ -19,26 +27,35 @@ SIZES = [72 * 4096, 72 * 96, 72 * 48, 72 * 40]
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--out", default=None,
+                        help="JSONL store; makes the sweep resumable")
+    args = parser.parse_args()
+
+    sweep = Sweep(
+        base=RunSpec(workload="jbb", instructions=12_000, seed=4, scale=16,
+                     max_cycles=5_000_000,
+                     config_overrides=(("max_recoveries", 10**9),)),
+        grid={"clb_bytes": SIZES},
+        seeds=[4],
+    )
+    store = ResultStore(args.out) if args.out else None
+    runner = Runner(jobs=args.jobs, store=store, progress=print)
+    records = runner.run(sweep.expand())
+
+    base_rate = records[0].work_rate
     rows = []
-    base_rate = None
-    for size in SIZES:
-        config = SystemConfig.sim_scaled(16, clb_size_bytes=size,
-                                         max_recoveries=10**9)
-        workload = workloads.jbb(num_cpus=16, scale=16, seed=4)
-        machine = Machine(config, workload, seed=4)
-        result = machine.run(instructions_per_cpu=12_000, max_cycles=5_000_000)
-        rate = (result.committed_instructions / result.cycles
-                if result.cycles else 0.0)
-        if base_rate is None:
-            base_rate = rate
-        stats = machine.stats
+    for record in records:
+        size = record.spec.clb_bytes
         rows.append((
             f"{size // 1024} kB ({size // 72} entries)",
-            f"{rate / base_rate:.3f}",
-            stats.sum_counters(".store_throttles"),
-            stats.sum_counters(".nacks_sent"),
-            result.recoveries,
-            max(n.cache_clb.peak_occupancy for n in machine.nodes),
+            f"{record.work_rate / base_rate:.3f}" if base_rate else "-",
+            int(record.metrics["store_throttles"]),
+            int(record.metrics["nacks_sent"]),
+            record.recoveries,
+            int(record.metrics["peak_cache_clb_entries"]),
         ))
     print(format_table(
         ["CLB size", "normalized perf", "store throttles", "NACKs",

@@ -20,13 +20,20 @@ Quick start::
 
 Package layout (see DESIGN.md for the full inventory):
 
+* ``repro.sim`` - deterministic discrete-event kernel, RNG, statistics;
+* ``repro.config`` - Table 2 parameters and the scaled presets;
 * ``repro.core`` - SafetyNet itself (CLBs, checkpoint clock, validation,
   recovery, output/input commit);
 * ``repro.coherence`` - the MOSI directory protocol substrate;
 * ``repro.interconnect`` - the half-switch 2D torus with fault injection;
+* ``repro.detection`` - error codes, checkers, and corruption faults;
 * ``repro.processor`` / ``repro.workloads`` - cores and Table 3 workloads;
 * ``repro.system`` - node/machine assembly and fault campaigns;
-* ``repro.analysis`` - multi-seed aggregation and chart/table rendering.
+* ``repro.experiments`` - the campaign engine: declarative RunSpec/Sweep
+  grids, a parallel resumable Runner + JSONL ResultStore, and per-cell
+  aggregation (also the ``repro sweep`` CLI subcommand);
+* ``repro.analysis`` - multi-seed normalisation and chart/table rendering;
+* ``repro.cli`` - the ``repro`` / ``python -m repro`` command line.
 """
 
 from repro.config import SystemConfig

@@ -1,10 +1,12 @@
 """Command-line interface: run SafetyNet experiments without writing code.
 
-Usage (installed as ``python -m repro``):
+Usage (installed as ``python -m repro`` or the ``repro`` console script):
 
     python -m repro run --workload oltp --instructions 20000
     python -m repro run --workload apache --fault transient --period 60000
     python -m repro run --workload jbb --fault switch --unprotected
+    python -m repro sweep --grid workload=apache,oltp --grid clb_kb=16,32 \\
+        --seeds 3 --jobs 4 --out results.jsonl    # parallel, resumable
     python -m repro character                 # Table 3 workload summary
     python -m repro config [--paper]          # Table 2 parameters
 
@@ -20,7 +22,15 @@ from typing import List, Optional
 
 from repro.analysis import format_table
 from repro.config import SystemConfig
-from repro.detection.codes import CRC16
+from repro.experiments import (
+    ResultStore,
+    Runner,
+    RunSpec,
+    Sweep,
+    aggregate,
+    build_machine,
+    summary_rows,
+)
 from repro.system.machine import Machine
 from repro.workloads import WORKLOAD_NAMES, by_name, workload_character
 
@@ -35,27 +45,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_experiment_args(p, *, instructions, warmup, period):
+        """Flags shared by `run` and `sweep` (both feed _spec_from_args).
+
+        Declared through a helper rather than a parents= parser: argparse
+        parents share action objects, so per-subcommand defaults on one
+        subparser would leak into the other.
+        """
+        p.add_argument("--workload", choices=WORKLOAD_NAMES, default="apache")
+        p.add_argument("--instructions", type=int, default=instructions,
+                       help="instructions per CPU (measured phase)")
+        p.add_argument("--warmup", type=int, default=warmup,
+                       help="warmup instructions per CPU (0 = none)")
+        p.add_argument("--scale", type=int, default=16,
+                       help="divide the paper's sizes by this factor")
+        p.add_argument("--fault", choices=FAULTS, default="none")
+        p.add_argument("--period", type=int, default=period,
+                       help="cycles between transient faults")
+        p.add_argument("--fault-at", type=int, default=None,
+                       help="cycle of the first/only fault")
+        p.add_argument("--unprotected", action="store_true",
+                       help="disable SafetyNet (the paper's baseline)")
+        p.add_argument("--interval", type=int, default=None,
+                       help="override the checkpoint interval (cycles)")
+        p.add_argument("--clb-kb", type=int, default=None,
+                       help="override CLB size (kB per controller)")
+        p.add_argument("--max-cycles", type=int, default=30_000_000)
+
     run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("--workload", choices=WORKLOAD_NAMES, default="apache")
-    run.add_argument("--instructions", type=int, default=15_000,
-                     help="instructions per CPU (measured phase)")
-    run.add_argument("--warmup", type=int, default=5_000,
-                     help="warmup instructions per CPU (0 = none)")
+    add_experiment_args(run, instructions=15_000, warmup=5_000, period=60_000)
     run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--scale", type=int, default=16,
-                     help="divide the paper's sizes by this factor")
-    run.add_argument("--fault", choices=FAULTS, default="none")
-    run.add_argument("--period", type=int, default=60_000,
-                     help="cycles between transient faults")
-    run.add_argument("--fault-at", type=int, default=None,
-                     help="cycle of the first/only fault")
-    run.add_argument("--unprotected", action="store_true",
-                     help="disable SafetyNet (the paper's baseline)")
-    run.add_argument("--interval", type=int, default=None,
-                     help="override the checkpoint interval (cycles)")
-    run.add_argument("--clb-kb", type=int, default=None,
-                     help="override CLB size (kB per controller)")
-    run.add_argument("--max-cycles", type=int, default=30_000_000)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter-grid campaign (parallel, resumable)",
+        description="Expand --grid axes x --seeds into a run campaign, "
+                    "execute it with --jobs worker processes, and append "
+                    "each result to --out (JSONL).  Re-running with the "
+                    "same --out skips completed runs.")
+    add_experiment_args(sweep, instructions=8_000, warmup=0, period=None)
+    sweep.add_argument("--grid", action="append", default=[],
+                       metavar="FIELD=V1,V2,...",
+                       help="one sweep axis, e.g. workload=apache,oltp or "
+                            "clb_kb=128,256,512 (repeatable)")
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="seed replicates per cell (seeds 1..N)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--out", default=None,
+                       help="JSONL result store; enables resume")
+    sweep.add_argument("--metric", default="cycles",
+                       choices=["cycles", "work_rate", "recoveries",
+                                "lost_instructions",
+                                "committed_instructions"],
+                       help="metric summarised in the final table")
 
     sub.add_parser("character", help="print Table 3 workload character")
 
@@ -66,30 +109,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _spec_from_args(args, *, seed: Optional[int] = None) -> RunSpec:
+    """Map the shared run/sweep flags onto a RunSpec."""
+    return RunSpec(
+        workload=args.workload,
+        instructions=args.instructions,
+        warmup=args.warmup,
+        seed=seed if seed is not None else getattr(args, "seed", 1),
+        scale=args.scale,
+        safetynet=not args.unprotected,
+        interval=args.interval,
+        clb_bytes=args.clb_kb * 1024 if args.clb_kb is not None else None,
+        fault=args.fault,
+        fault_period=args.period,
+        fault_at=args.fault_at,
+        max_cycles=args.max_cycles,
+    )
+
+
 def _build_machine(args) -> Machine:
-    overrides = {}
-    if args.unprotected:
-        overrides["safetynet_enabled"] = False
-    if args.interval is not None:
-        overrides["checkpoint_interval"] = args.interval
-    if args.clb_kb is not None:
-        overrides["clb_size_bytes"] = args.clb_kb * 1024
-    config = SystemConfig.sim_scaled(args.scale, **overrides)
-    workload = by_name(args.workload, num_cpus=config.num_processors,
-                       scale=args.scale, seed=args.seed)
-    needs_checker = args.fault in ("corrupt", "misroute")
-    machine = Machine(config, workload, seed=args.seed,
-                      error_code=CRC16 if needs_checker else None)
-    first = args.fault_at
-    if args.fault == "transient":
-        machine.inject_transient_faults(args.period, first_at=first)
-    elif args.fault == "switch":
-        machine.inject_switch_kill(at_cycle=first if first is not None else 50_000)
-    elif args.fault == "corrupt":
-        machine.inject_corruption_faults(args.period, first_at=first)
-    elif args.fault == "misroute":
-        machine.inject_misroute_faults(args.period, first_at=first)
-    return machine
+    spec = _spec_from_args(args)
+    # `run` measures warmup separately (run_with_warmup below); the spec
+    # here only describes machine construction.
+    return build_machine(spec)
 
 
 def cmd_run(args, out) -> int:
@@ -131,6 +173,67 @@ def cmd_run(args, out) -> int:
     return 0 if result.completed else 1
 
 
+def _parse_grid_value(raw: str):
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered == "null":      # "none" stays a string (it is a fault kind)
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse_grid(args_grid: List[str]) -> dict:
+    grid = {}
+    for item in args_grid:
+        if "=" not in item:
+            raise SystemExit(f"--grid expects FIELD=V1,V2,... got {item!r}")
+        key, _, values = item.partition("=")
+        key = key.strip()
+        parsed = [_parse_grid_value(v) for v in values.split(",") if v.strip()]
+        if not parsed:
+            raise SystemExit(f"--grid {key}= has no values")
+        grid[key] = parsed
+    return grid
+
+
+def cmd_sweep(args, out) -> int:
+    grid = _parse_grid(args.grid)
+    try:
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        sweep = Sweep(base=_spec_from_args(args), grid=grid, seeds=args.seeds)
+        specs = sweep.expand()
+    except (ValueError, TypeError) as exc:
+        print(f"bad sweep: {exc}", file=out)
+        return 1
+    print(f"campaign: {sweep.cells()} cells x {len(sweep.seed_list())} seeds "
+          f"= {len(specs)} runs, jobs={args.jobs}"
+          + (f", store={args.out}" if args.out else ""), file=out)
+    store = ResultStore(args.out) if args.out else None
+    runner = Runner(jobs=args.jobs, store=store,
+                    progress=lambda line: print(line, file=out))
+    records = runner.run(specs)
+    print(f"executed {runner.executed} runs, reused {runner.skipped} from "
+          "the store" if store else f"executed {runner.executed} runs",
+          file=out)
+    header, rows = summary_rows(aggregate(records), metric=args.metric)
+    print(format_table(header, rows,
+                       title=f"sweep summary ({args.metric})"), file=out)
+    unexpected = sum(1 for r in records if r.crashed and r.spec.safetynet)
+    if unexpected:
+        print(f"{unexpected} protected runs crashed", file=out)
+        return 1
+    return 0
+
+
 def cmd_character(args, out) -> int:
     rows = []
     for name in WORKLOAD_NAMES:
@@ -165,6 +268,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args, out)
+    if args.command == "sweep":
+        return cmd_sweep(args, out)
     if args.command == "character":
         return cmd_character(args, out)
     return cmd_config(args, out)

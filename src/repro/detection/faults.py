@@ -1,6 +1,6 @@
 """Injectors for the corruption and misrouting fault modes (Table 1).
 
-Both reuse the interconnect's switch-entry hook machinery: instead of
+Both reuse the interconnect's periodic-arming fault machinery: instead of
 dropping a message (the DropMessageFault), they mutate it — flag it
 corrupted, or retarget its delivery to a wrong endpoint — and let the
 detection layer find it.
@@ -8,45 +8,15 @@ detection layer find it.
 
 from __future__ import annotations
 
-from typing import Optional
-
+from repro.interconnect.faults import PeriodicArmedFault
 from repro.interconnect.messages import Message
-from repro.interconnect.network import Network
-from repro.interconnect.topology import Vertex
-from repro.sim.kernel import Simulator
 from repro.workloads.base import mix64
 
 
-class _PeriodicArmedFault:
-    """Shared arming logic: fire on the next message after each period."""
+class _MutatingFault(PeriodicArmedFault):
+    """Fires by mutating the message in place; never drops it."""
 
-    def __init__(self, sim: Simulator, network: Network, period: int,
-                 *, first_at: Optional[int] = None,
-                 count: Optional[int] = None) -> None:
-        if period <= 0:
-            raise ValueError("fault period must be positive")
-        self.sim = sim
-        self.network = network
-        self.period = period
-        self.remaining = count
-        self.injected = 0
-        self._armed = False
-        network.add_drop_hook(self._hook)
-        sim.schedule(first_at if first_at is not None else period,
-                     self._arm, "fault.arm")
-
-    def _arm(self) -> None:
-        if self.remaining is not None and self.injected >= self.remaining:
-            return
-        self._armed = True
-
-    def _hook(self, msg: Message, vertex: Vertex) -> bool:
-        if not self._armed:
-            return False
-        self._armed = False
-        self.injected += 1
-        if self.remaining is None or self.injected < self.remaining:
-            self.sim.schedule_after(self.period, self._arm, "fault.arm")
+    def _fire(self, msg: Message) -> bool:
         self._mutate(msg)
         return False  # never drop; the mutation is the fault
 
@@ -54,7 +24,7 @@ class _PeriodicArmedFault:
         raise NotImplementedError
 
 
-class CorruptMessageFault(_PeriodicArmedFault):
+class CorruptMessageFault(_MutatingFault):
     """Flips bits in a message inside a switch (transient).
 
     Whether the fault is caught depends on the endpoint's error-detection
@@ -65,7 +35,7 @@ class CorruptMessageFault(_PeriodicArmedFault):
         msg.payload["corrupted"] = True
 
 
-class MisrouteMessageFault(_PeriodicArmedFault):
+class MisrouteMessageFault(_MutatingFault):
     """Corrupts a message's routing so it arrives at the wrong endpoint,
     where it is detected as an illegal message."""
 

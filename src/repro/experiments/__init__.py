@@ -1,0 +1,65 @@
+"""``repro.experiments`` — parallel, resumable campaign engine.
+
+Every figure in the paper is a cross-product of workloads, fault models,
+CLB sizes, checkpoint intervals, and seed replicates.  This package
+turns "run that cross-product" into a declarative, restartable job
+instead of a hand-rolled loop:
+
+* :mod:`~repro.experiments.spec` — :class:`RunSpec` (one hashable run)
+  and :class:`Sweep` (grid expansion);
+* :mod:`~repro.experiments.runner` — :func:`execute_run` (spec ->
+  :class:`RunRecord`) and :class:`Runner` (process-pool fan-out with a
+  serial fallback);
+* :mod:`~repro.experiments.store` — :class:`ResultStore`, an append-only
+  JSONL journal keyed by spec hash that makes campaigns resumable;
+* :mod:`~repro.experiments.aggregate` — per-cell means / spreads /
+  confidence intervals across seed replicates, feeding ``repro.analysis``.
+
+Quick start::
+
+    from repro.experiments import ResultStore, Runner, RunSpec, Sweep, aggregate
+
+    sweep = Sweep(base=RunSpec(instructions=8_000),
+                  grid={"workload": ["apache", "jbb"],
+                        "clb_kb": [128, 256, 512]},
+                  seeds=3)
+    runner = Runner(jobs=4, store=ResultStore("results.jsonl"))
+    records = runner.run(sweep.expand())    # re-entrant: finished runs skipped
+    for cell in aggregate(records):
+        print(cell.label(["workload", "clb_bytes"]), cell.metrics["cycles"].render())
+
+Or from the command line::
+
+    python -m repro sweep --grid workload=apache,jbb --grid clb_kb=128,256,512 \\
+        --seeds 3 --jobs 4 --out results.jsonl
+"""
+
+from repro.experiments.aggregate import (
+    CellSummary,
+    MetricSummary,
+    aggregate,
+    summarize,
+    summary_rows,
+    t_critical_95,
+    varied_keys,
+)
+from repro.experiments.runner import RunRecord, Runner, build_machine, execute_run
+from repro.experiments.spec import RunSpec, Sweep
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "RunSpec",
+    "Sweep",
+    "RunRecord",
+    "Runner",
+    "build_machine",
+    "execute_run",
+    "ResultStore",
+    "CellSummary",
+    "MetricSummary",
+    "aggregate",
+    "summarize",
+    "summary_rows",
+    "t_critical_95",
+    "varied_keys",
+]

@@ -1,0 +1,330 @@
+"""Campaign execution: build a machine from a spec, run it, in parallel.
+
+:func:`execute_run` is the pure worker — ``RunSpec`` in,
+:class:`RunRecord` out — used identically by the serial path, the
+process-pool path, and any future remote backend.  :class:`Runner`
+orchestrates a list of specs: it consults the
+:class:`~repro.experiments.store.ResultStore` to skip already-completed
+runs (resume), fans the rest out over a ``ProcessPoolExecutor``, records
+each result as soon as it lands (an interrupted campaign loses at most
+the runs in flight), and falls back to serial execution wherever process
+pools are unavailable (restricted sandboxes, pickling failures).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.detection.codes import CRC16
+from repro.experiments.spec import RunSpec
+from repro.system.machine import Machine, RunResult
+from repro.workloads import by_name
+
+#: Stats harvested into every record (small, stable, JSON-safe).
+_METRIC_SUFFIXES = (
+    "store_throttles",
+    "nacks_sent",
+    "fwd_clb_stalls",
+    "messages_lost",
+    "stores_logged",
+)
+
+
+def build_machine(spec: RunSpec) -> Machine:
+    """Assemble the machine a spec describes (also used by the CLI)."""
+    overrides: Dict[str, Any] = dict(spec.config_overrides)
+    if not spec.safetynet:
+        overrides["safetynet_enabled"] = False
+    if spec.interval is not None:
+        overrides["checkpoint_interval"] = spec.interval
+    if spec.clb_bytes is not None:
+        overrides["clb_size_bytes"] = spec.clb_bytes
+    if spec.preset == "paper":
+        config = SystemConfig.paper(**overrides)
+    elif spec.preset == "tiny":
+        config = SystemConfig.tiny(**overrides)
+    else:
+        config = SystemConfig.sim_scaled(spec.scale, **overrides)
+    workload = by_name(spec.workload, num_cpus=config.num_processors,
+                       scale=spec.scale, seed=spec.seed)
+    needs_checker = spec.fault in ("corrupt", "misroute")
+    machine = Machine(config, workload, seed=spec.seed,
+                      detection_latency=spec.detection_latency,
+                      error_code=CRC16 if needs_checker else None)
+    if spec.fault == "transient":
+        machine.inject_transient_faults(spec.fault_period or 60_000,
+                                        first_at=spec.fault_at)
+    elif spec.fault == "switch":
+        machine.inject_switch_kill(
+            at_cycle=spec.fault_at if spec.fault_at is not None else 50_000)
+    elif spec.fault == "corrupt":
+        machine.inject_corruption_faults(spec.fault_period or 60_000,
+                                         first_at=spec.fault_at)
+    elif spec.fault == "misroute":
+        machine.inject_misroute_faults(spec.fault_period or 60_000,
+                                       first_at=spec.fault_at)
+    return machine
+
+
+@dataclass
+class RunRecord:
+    """One completed run: the spec, its outcome, and harvested metrics.
+
+    ``elapsed_s`` (wall time) and ``cached`` (satisfied from the store)
+    are bookkeeping, not results: every other field is a deterministic
+    function of the spec.
+    """
+
+    spec: RunSpec
+    spec_hash: str
+    cycles: int
+    committed_instructions: int
+    target_instructions: int
+    completed: bool
+    crashed: bool
+    crash_reason: Optional[str]
+    recoveries: int
+    lost_instructions: int
+    reexecuted_instructions: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    RESULT_FIELDS = (
+        "cycles", "committed_instructions", "target_instructions",
+        "completed", "crashed", "crash_reason", "recoveries",
+        "lost_instructions", "reexecuted_instructions", "metrics",
+    )
+
+    @property
+    def work_rate(self) -> float:
+        """Committed instructions per cycle (0 for crashed runs)."""
+        if self.crashed or not self.cycles:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+    def result_key(self) -> Dict[str, Any]:
+        """The deterministic payload (for equivalence comparisons)."""
+        return {name: getattr(self, name) for name in self.RESULT_FIELDS}
+
+    def to_run_result(self) -> RunResult:
+        """Adapt to the :class:`RunResult` shape ``repro.analysis`` expects."""
+        return RunResult(
+            cycles=self.cycles,
+            committed_instructions=self.committed_instructions,
+            target_instructions=self.target_instructions,
+            completed=self.completed,
+            crashed=self.crashed,
+            crash_reason=self.crash_reason,
+            recoveries=self.recoveries,
+            lost_instructions=self.lost_instructions,
+            reexecuted_instructions=self.reexecuted_instructions,
+            stats=dict(self.metrics),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["spec"] = self.spec.canonical()
+        del out["cached"]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        data = dict(data)
+        data.pop("cached", None)
+        spec = RunSpec.from_dict(data.pop("spec"))
+        return cls(spec=spec, **data)
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Build, run, and summarise one spec (the process-pool work unit)."""
+    started = time.perf_counter()
+    machine = build_machine(spec)
+    if spec.warmup > 0:
+        result = machine.run_with_warmup(spec.warmup, spec.instructions,
+                                         max_cycles=spec.max_cycles)
+    else:
+        result = machine.run(spec.instructions, max_cycles=spec.max_cycles)
+    metrics: Dict[str, float] = {
+        suffix: machine.stats.sum_counters("." + suffix)
+        for suffix in _METRIC_SUFFIXES
+    }
+    metrics["peak_cache_clb_entries"] = max(
+        n.cache_clb.peak_occupancy for n in machine.nodes)
+    metrics["peak_home_clb_entries"] = max(
+        n.home_clb.peak_occupancy for n in machine.nodes)
+    return RunRecord(
+        spec=spec,
+        spec_hash=spec.spec_hash,
+        cycles=result.cycles,
+        committed_instructions=result.committed_instructions,
+        target_instructions=result.target_instructions,
+        completed=result.completed,
+        crashed=result.crashed,
+        crash_reason=result.crash_reason,
+        recoveries=result.recoveries,
+        lost_instructions=result.lost_instructions,
+        reexecuted_instructions=result.reexecuted_instructions,
+        metrics=metrics,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+class Runner:
+    """Executes a campaign of specs, resumably and (optionally) in parallel.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` uses a process pool with at
+    most ``jobs`` workers.  Per-run results are identical either way:
+    every run is an isolated deterministic simulation seeded only from
+    its spec.  With a ``store``, completed runs are skipped on re-entry
+    and fresh results are persisted as soon as each run finishes.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        store=None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress or (lambda line: None)
+        self.executed = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Run every spec, returning records in spec order.
+
+        Duplicate specs (same hash) within the campaign execute once.
+        """
+        done: Dict[str, RunRecord] = {}
+        todo: List[RunSpec] = []
+        seen = set()
+        for spec in specs:
+            h = spec.spec_hash
+            if h in seen:
+                continue
+            seen.add(h)
+            cached = self.store.get(h) if self.store is not None else None
+            if cached is not None:
+                cached.cached = True
+                done[h] = cached
+            else:
+                todo.append(spec)
+        self.skipped += len(done)
+        if done:
+            self.progress(f"resume: {len(done)} of {len(specs)} runs already "
+                          "complete, skipping")
+
+        if todo:
+            if self.jobs > 1 and len(todo) > 1:
+                fresh = self._run_parallel(todo)
+            else:
+                fresh = self._run_serial(todo)
+            done.update(fresh)
+        return [done[spec.spec_hash] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _finish(self, record: RunRecord, index: int, total: int) -> None:
+        self.executed += 1
+        if self.store is not None:
+            self.store.append(record)
+        state = "CRASH" if record.crashed else (
+            "ok" if record.completed else "cut off")
+        spec = record.spec
+        extras = ""
+        if spec.clb_bytes is not None:
+            extras += f" clb={spec.clb_bytes // 1024}k"
+        if spec.interval is not None:
+            extras += f" interval={spec.interval}"
+        if not spec.safetynet:
+            extras += " unprotected"
+        self.progress(
+            f"[{index}/{total}] {spec.workload} seed={spec.seed} "
+            f"fault={spec.fault}{extras} -> {state} "
+            f"({record.cycles:,} cycles, {record.elapsed_s:.1f}s)"
+        )
+
+    def _run_serial(self, specs: List[RunSpec]) -> Dict[str, RunRecord]:
+        out: Dict[str, RunRecord] = {}
+        for i, spec in enumerate(specs, 1):
+            record = execute_run(spec)
+            out[spec.spec_hash] = record
+            self._finish(record, i, len(specs))
+        return out
+
+    def _run_parallel(self, specs: List[RunSpec]) -> Dict[str, RunRecord]:
+        # Only pool-infrastructure failures degrade to serial execution;
+        # an exception raised by a run itself (or by the store) is a real
+        # error and propagates rather than silently re-running everything.
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except (OSError, PermissionError, ValueError) as exc:
+            self.progress(f"process pool unavailable ({exc!r}); "
+                          "falling back to serial execution")
+            return self._run_serial(specs)
+        out: Dict[str, RunRecord] = {}
+        total = len(specs)
+        try:
+            with pool:
+                pending = {pool.submit(execute_run, spec): spec
+                           for spec in specs}
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        spec = pending.pop(future)
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception:
+                            # A run itself failed: persist what already
+                            # completed and stop submitting, instead of
+                            # blocking on the whole queue and losing it.
+                            self.progress(
+                                f"run {spec.workload} seed={spec.seed} "
+                                "raised; cancelling queued runs")
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            self._harvest_finished(pending, out, total)
+                            raise
+                        out[spec.spec_hash] = record
+                        self._finish(record, len(out), total)
+        except BrokenProcessPool as exc:
+            # Workers died underneath us (fork limits, OOM kills);
+            # finish the remaining runs in-process.
+            self.progress(f"process pool broke ({exc!r}); "
+                          "falling back to serial execution")
+            remaining = [s for s in specs if s.spec_hash not in out]
+            out.update(self._run_serial(remaining))
+        return out
+
+    def _harvest_finished(self, pending, out: Dict[str, RunRecord],
+                          total: int) -> None:
+        """Record runs that completed before an error aborted the campaign
+        (their results would otherwise be discarded and re-executed).
+
+        Queued futures were cancelled by the caller; the at-most-``jobs``
+        runs still in flight are waited for (they finish anyway before the
+        pool can shut down) so their work is persisted as well.
+        """
+        live = [f for f in pending if not f.cancelled()]
+        if live:
+            wait(live)
+        for future, spec in pending.items():
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                record = future.result()
+            except Exception:
+                continue
+            out[spec.spec_hash] = record
+            self._finish(record, len(out), total)

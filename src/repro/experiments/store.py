@@ -1,0 +1,89 @@
+"""Resumable result persistence — append-only JSONL keyed by spec hash.
+
+Fittingly for a checkpoint/recovery paper, the campaign engine's own
+state survives interruption: every completed run is one self-describing
+JSON line, appended and flushed as soon as it finishes.  Restarting a
+campaign against the same file skips every run whose spec hash is
+already present — the sweep's "recovery" re-executes only the lost work,
+never the validated prefix.
+
+A torn final line (the process died mid-write) is tolerated and simply
+re-run; duplicate hashes keep the newest record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.experiments.runner import RunRecord
+
+
+class ResultStore:
+    """Append-only JSONL store for :class:`RunRecord`, keyed by spec hash."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._records: Dict[str, RunRecord] = {}
+        self._malformed = 0
+        self._needs_newline = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            content = fh.read()
+        # A torn final line has no newline; seal it on the next append or
+        # the new record would merge into it and be unreadable.
+        self._needs_newline = bool(content) and not content.endswith("\n")
+        for line in content.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = RunRecord.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                self._malformed += 1
+                continue
+            self._records[record.spec_hash] = record
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return spec_hash in self._records
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records.values())
+
+    @property
+    def malformed_lines(self) -> int:
+        """Lines skipped on load (torn writes from an interrupted run)."""
+        return self._malformed
+
+    def completed_hashes(self) -> List[str]:
+        return list(self._records)
+
+    def get(self, spec_hash: str) -> Optional[RunRecord]:
+        return self._records.get(spec_hash)
+
+    def records(self) -> List[RunRecord]:
+        return list(self._records.values())
+
+    # ------------------------------------------------------------------
+    def append(self, record: RunRecord) -> None:
+        """Persist one record durably (append + flush + fsync)."""
+        self._records[record.spec_hash] = record
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            if self._needs_newline:
+                fh.write("\n")
+                self._needs_newline = False
+            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -6,6 +6,9 @@
 * :class:`KillSwitchFault` — a hard fault (e.g. electromigration) kills one
   half-switch after a delay, losing all of its buffered messages
   (Experiment 3: after one million cycles).
+
+:class:`PeriodicArmedFault` is the shared arming machinery, also reused by
+the corruption/misroute injectors in :mod:`repro.detection.faults`.
 """
 
 from __future__ import annotations
@@ -18,11 +21,13 @@ from repro.interconnect.topology import HalfSwitchId, Vertex
 from repro.sim.kernel import Simulator
 
 
-class DropMessageFault:
-    """Periodically arms itself and drops the next message entering a switch.
+class PeriodicArmedFault:
+    """Arms itself every ``period`` cycles and fires on the next message
+    entering a switch.
 
-    ``period`` is the cycle spacing between injected transients; ``count``
-    bounds the number of injections (None = unbounded).
+    Subclasses implement :meth:`_fire`; its return value is the switch
+    hook's verdict (True = drop the message, False = let it continue).
+    ``count`` bounds the number of injections (None = unbounded).
     """
 
     def __init__(
@@ -42,22 +47,41 @@ class DropMessageFault:
         self.remaining = count
         self.injected = 0
         self._armed = False
-        network.add_drop_hook(self._maybe_drop)
-        sim.schedule(first_at if first_at is not None else period, self._arm, "fault.arm")
+        self._stopped = False
+        network.add_drop_hook(self._hook)
+        sim.schedule(first_at if first_at is not None else period,
+                     self._arm, "fault.arm")
+
+    def stop(self) -> None:
+        """Disarm permanently (e.g. before quiescing for invariant checks)."""
+        self._stopped = True
+        self._armed = False
 
     def _arm(self) -> None:
+        if self._stopped:
+            return
         if self.remaining is not None and self.injected >= self.remaining:
             return
         self._armed = True
 
-    def _maybe_drop(self, msg: Message, vertex: Vertex) -> bool:
+    def _hook(self, msg: Message, vertex: Vertex) -> bool:
         if not self._armed:
             return False
         self._armed = False
         self.injected += 1
         if self.remaining is None or self.injected < self.remaining:
             self.sim.schedule_after(self.period, self._arm, "fault.arm")
-        return True
+        return self._fire(msg)
+
+    def _fire(self, msg: Message) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class DropMessageFault(PeriodicArmedFault):
+    """Periodically drops one message inside a switch (transient)."""
+
+    def _fire(self, msg: Message) -> bool:
+        return True  # the drop is the fault
 
 
 class KillSwitchFault:
@@ -75,7 +99,13 @@ class KillSwitchFault:
         self.half = half
         self.fired = False
         self.messages_lost_in_switch = 0
-        sim.schedule(at_cycle, self._fire, "fault.kill_switch")
+        self._event = sim.schedule(at_cycle, self._fire, "fault.kill_switch")
+
+    def stop(self) -> None:
+        """Cancel the kill if it has not fired yet (already-dead switches
+        stay dead — hard faults are not undone by disarming)."""
+        if not self.fired:
+            self._event.cancel()
 
     def _fire(self) -> None:
         self.fired = True

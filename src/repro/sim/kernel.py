@@ -9,32 +9,45 @@ that every run with the same seeds is bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, etc.)."""
 
 
-@dataclass(order=True)
 class Event:
     """A pending callback.
 
-    Events compare by ``(when, seq)``.  ``seq`` is an insertion counter,
-    which makes dispatch order deterministic for events scheduled at the
-    same cycle.
+    The heap itself stores bare ``(when, seq, event)`` tuples so that
+    heap sifting compares machine integers instead of calling back into
+    a rich-comparison method — the event loop is the hottest path in the
+    whole simulator (see ``benchmarks/test_kernel_hotpath.py``).  ``seq``
+    is an insertion counter: it breaks same-cycle ties deterministically
+    and guarantees the tuple comparison never reaches the (incomparable)
+    event object.
     """
 
-    when: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("when", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, when: int, seq: int, callback: Callable[[], None],
+                 label: str = "") -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (it stays in the queue lazily)."""
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(when={self.when}, seq={self.seq}, label={self.label!r}{state})"
+
+
+_QueueEntry = Tuple[int, int, Event]
 
 
 class Simulator:
@@ -49,7 +62,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: List[Event] = []
+        self._queue: List[_QueueEntry] = []
         self._seq: int = 0
         self._events_dispatched: int = 0
         self._stopped: bool = False
@@ -64,9 +77,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event '{label}' at {when}, now is {self.now}"
             )
-        event = Event(when=int(when), seq=self._seq, callback=callback, label=label)
+        event = Event(int(when), self._seq, callback, label)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.when, event.seq, event))
         return event
 
     def schedule_after(self, delay: int, callback: Callable[[], None], label: str = "") -> Event:
@@ -104,17 +117,19 @@ class Simulator:
         self._stopped = False
         self._stop_reason = None
         dispatched_here = 0
-        while self._queue and not self._stopped:
-            event = self._queue[0]
-            if limit is not None and event.when > limit:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue and not self._stopped:
+            when = queue[0][0]
+            if limit is not None and when > limit:
                 self.now = limit
                 break
-            heapq.heappop(self._queue)
+            event = heappop(queue)[2]
             if event.cancelled:
                 continue
-            if event.when < self.now:
+            if when < self.now:
                 raise SimulationError("event queue went backwards in time")
-            self.now = event.when
+            self.now = when
             event.callback()
             self._events_dispatched += 1
             dispatched_here += 1
@@ -129,7 +144,7 @@ class Simulator:
         """Dispatch exactly one (non-cancelled) event.  Returns False when
         the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
             self.now = event.when
@@ -145,7 +160,7 @@ class Simulator:
         Returns the number of events cancelled.
         """
         cancelled = 0
-        for event in self._queue:
+        for _, _, event in self._queue:
             if not event.cancelled and predicate(event):
                 event.cancel()
                 cancelled += 1

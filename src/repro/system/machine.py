@@ -230,6 +230,25 @@ class Machine:
     def is_active(self) -> bool:
         return not self.crashed and self._done_count < len(self.nodes)
 
+    def _watchdog_should_act(self) -> bool:
+        """Whether a stalled recovery point warrants a recovery.
+
+        True while the workload runs, and also afterwards while any
+        coherence transaction's interval is still open: a recovery point
+        that stalls with protocol state outstanding means a lost message
+        orphaned a transaction — exactly the fault the watchdog exists to
+        catch (paper §3.5) — even if every core already hit its target.
+        """
+        if self.is_active():
+            return True
+        if self.crashed:
+            return False
+        return any(
+            node.cache.min_open_interval() is not None
+            or node.home.min_open_interval() is not None
+            for node in self.nodes
+        )
+
     def run_with_warmup(self, warmup_instructions: int,
                         measure_instructions: int,
                         max_cycles: Optional[int] = None) -> RunResult:
@@ -268,7 +287,7 @@ class Machine:
             self.clock.start()
             for node in self.nodes:
                 node.validation.start()
-            self.recovery.start_watchdog(self.is_active)
+            self.recovery.start_watchdog(self._watchdog_should_act)
         for node in self.nodes:
             node.core.start(target)
         limit = max_cycles if max_cycles is not None else (1 << 60)
@@ -304,9 +323,13 @@ class Machine:
 
         Coherence invariants are only meaningful on a quiesced machine:
         a run cut off mid-transaction legitimately has directory entries
-        pointing at requestors whose data is still in flight.  Returns
-        True if the machine fully drained within the budget.
+        pointing at requestors whose data is still in flight.  Fault
+        injectors are disarmed first — a machine wounded faster than it
+        can recover never drains.  Returns True if the machine fully
+        drained within the budget.
         """
+        for fault in self._faults:
+            fault.stop()
         for node in self.nodes:
             node.core.freeze()
 
@@ -321,6 +344,9 @@ class Machine:
         deadline = self.sim.now + max_wait_cycles
         while not drained() and self.sim.now < deadline and self.sim.pending():
             self.sim.run(limit=min(deadline, self.sim.now + 1_000))
+            # A recovery completing mid-drain resumes the cores; re-freeze.
+            for node in self.nodes:
+                node.core.freeze()
         return drained()
 
     def owner_of(self, addr: int) -> Optional[int]:

@@ -69,6 +69,35 @@ def test_run_with_overrides():
     assert code == 0
 
 
+def test_sweep_runs_resumes_and_summarises(tmp_path):
+    out_path = str(tmp_path / "sweep.jsonl")
+    argv = [
+        "sweep", "--grid", "workload=apache,oltp", "--grid", "clb_kb=8,16",
+        "--instructions", "1200", "--scale", "64", "--seeds", "2",
+        "--jobs", "1", "--out", out_path,
+    ]
+    code, text = run_cli(argv)
+    assert code == 0
+    assert "4 cells x 2 seeds = 8 runs" in text
+    assert "sweep summary" in text
+    with open(out_path) as fh:
+        assert len(fh.readlines()) == 8
+
+    code, text = run_cli(argv)
+    assert code == 0
+    assert "8 of 8 runs already complete" in text
+    assert "executed 0 runs" in text
+    with open(out_path) as fh:
+        assert len(fh.readlines()) == 8  # nothing re-executed or re-written
+
+
+def test_sweep_rejects_bad_grid():
+    code, text = run_cli(["sweep", "--grid", "no_such_field=1,2",
+                          "--instructions", "100"])
+    assert code == 1
+    assert "bad sweep" in text
+
+
 def test_parser_rejects_unknown_workload():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--workload", "tpch"])

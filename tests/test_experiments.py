@@ -1,0 +1,211 @@
+"""Tests for the `repro.experiments` campaign engine."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ResultStore,
+    Runner,
+    RunRecord,
+    RunSpec,
+    Sweep,
+    aggregate,
+    execute_run,
+    summarize,
+    summary_rows,
+    t_critical_95,
+)
+
+# A spec small enough that a run takes ~50 ms.
+TINY = RunSpec(workload="apache", instructions=400, warmup=0, preset="tiny",
+               scale=64, max_cycles=2_000_000)
+
+
+# ----------------------------------------------------------------------
+# Spec + sweep expansion
+# ----------------------------------------------------------------------
+def test_grid_expansion_shape_and_determinism():
+    sweep = Sweep(base=TINY,
+                  grid={"clb_kb": [8, 16], "workload": ["apache", "jbb"]},
+                  seeds=3)
+    specs = sweep.expand()
+    assert len(specs) == 2 * 2 * 3 == sweep.cells() * 3
+    # Pure function of its inputs: identical on re-expansion.
+    assert specs == sweep.expand()
+    assert [s.spec_hash for s in specs] == [s.spec_hash
+                                            for s in sweep.expand()]
+    # Seeds innermost, grid order preserved, alias applied.
+    assert [s.seed for s in specs[:3]] == [1, 2, 3]
+    assert specs[0].clb_bytes == 8 * 1024
+    assert {s.workload for s in specs} == {"apache", "jbb"}
+    # All cells distinct, all specs distinct.
+    assert len({s.spec_hash for s in specs}) == len(specs)
+    assert len({s.cell_hash for s in specs}) == 4
+
+
+def test_sweep_rejects_bad_axes():
+    with pytest.raises(ValueError):
+        Sweep(base=TINY, grid={"clb_kb": []}).expand()
+    with pytest.raises(ValueError):
+        Sweep(base=TINY, seeds=0).expand()
+    with pytest.raises(TypeError):
+        Sweep(base=TINY, grid={"no_such_field": [1]}).expand()
+
+
+def test_spec_hash_stability():
+    # The hash is a pure content hash: insensitive to override ordering,
+    # sensitive to every field, stable across sessions (golden value —
+    # changing canonicalisation invalidates every existing ResultStore,
+    # so it must be a deliberate act).
+    a = RunSpec(config_overrides=(("x", 1), ("y", 2)))
+    b = RunSpec(config_overrides=(("y", 2), ("x", 1)))
+    assert a.spec_hash == b.spec_hash
+    assert a.spec_hash != RunSpec(config_overrides=(("x", 2),)).spec_hash
+    assert RunSpec().spec_hash != RunSpec(seed=2).spec_hash
+    # Seed is excluded from the cell, included in the run identity.
+    assert RunSpec().cell_hash == RunSpec(seed=2).cell_hash
+    assert RunSpec().spec_hash == "50268841473bc14e"
+
+
+def test_spec_roundtrips_through_json():
+    spec = TINY.with_(clb_kb=16, fault="transient", fault_period=9_000,
+                      config_overrides=(("max_recoveries", 7),))
+    again = RunSpec.from_dict(json.loads(json.dumps(spec.canonical())))
+    assert again == spec
+    with pytest.raises(ValueError):
+        RunSpec.from_dict({"bogus_field": 1})
+    with pytest.raises(ValueError):
+        RunSpec(fault="meteor")
+
+
+# ----------------------------------------------------------------------
+# Execution: store resume + serial/parallel equivalence
+# ----------------------------------------------------------------------
+def _tiny_specs(n_seeds=2):
+    return Sweep(base=TINY, grid={"workload": ["apache", "jbb"]},
+                 seeds=n_seeds).expand()
+
+
+def test_resume_skips_completed_runs(tmp_path):
+    path = str(tmp_path / "results.jsonl")
+    specs = _tiny_specs()
+
+    first = Runner(jobs=1, store=ResultStore(path))
+    first.run(specs[:3])
+    assert first.executed == 3 and first.skipped == 0
+
+    second = Runner(jobs=1, store=ResultStore(path))
+    records = second.run(specs)
+    assert second.executed == 1          # only the one missing run
+    assert second.skipped == 3
+    assert [r.cached for r in records] == [True, True, True, False]
+
+    third = Runner(jobs=1, store=ResultStore(path))
+    third.run(specs)
+    assert third.executed == 0           # fully resumed: zero re-execution
+    with open(path) as fh:
+        assert len(fh.readlines()) == len(specs)
+
+
+def test_store_tolerates_torn_final_line(tmp_path):
+    path = str(tmp_path / "results.jsonl")
+    store = ResultStore(path)
+    record = execute_run(TINY)
+    store.append(record)
+    with open(path, "a") as fh:
+        fh.write('{"spec": {"workload": "apa')   # killed mid-write
+    again = ResultStore(path)
+    assert len(again) == 1
+    assert again.malformed_lines == 1
+    assert again.get(TINY.spec_hash).result_key() == record.result_key()
+    # Appending after a torn line must seal it, not merge into it.
+    record2 = execute_run(TINY.with_(seed=2))
+    again.append(record2)
+    sealed = ResultStore(path)
+    assert len(sealed) == 2
+    assert sealed.get(record2.spec_hash).result_key() == record2.result_key()
+
+
+def test_serial_and_parallel_runs_agree():
+    specs = _tiny_specs()
+    serial = Runner(jobs=1).run(specs)
+    parallel = Runner(jobs=2).run(specs)
+    assert [r.result_key() for r in serial] == \
+        [r.result_key() for r in parallel]
+    assert all(not r.crashed and r.completed for r in serial)
+
+
+def test_runner_deduplicates_repeated_specs():
+    runner = Runner(jobs=1)
+    records = runner.run([TINY, TINY])
+    assert runner.executed == 1
+    assert records[0] is records[1]
+
+
+def test_record_adapts_to_analysis_run_result():
+    record = execute_run(TINY)
+    result = record.to_run_result()
+    assert result.cycles == record.cycles
+    assert result.completed and not result.crashed
+    assert result.stats["peak_cache_clb_entries"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Aggregation math
+# ----------------------------------------------------------------------
+def _fake_record(seed, cycles, committed=1000, crashed=False, cell_spec=TINY):
+    spec = cell_spec.with_(seed=seed)
+    return RunRecord(
+        spec=spec, spec_hash=spec.spec_hash, cycles=cycles,
+        committed_instructions=committed, target_instructions=1600,
+        completed=not crashed, crashed=crashed, crash_reason=None,
+        recoveries=0, lost_instructions=0, reexecuted_instructions=0,
+    )
+
+
+def test_ci_aggregation_math():
+    records = [_fake_record(s, c) for s, c in
+               zip((1, 2, 3, 4), (100, 110, 90, 100))]
+    (cell,) = aggregate(records)
+    s = cell.metrics["cycles"]
+    assert s.n == 4 and s.mean == 100.0
+    assert s.minimum == 90 and s.maximum == 110
+    # Sample stddev of [100,110,90,100] = sqrt(200/3); t(3, .975)=3.182.
+    expected_std = (200 / 3) ** 0.5
+    assert s.stddev == pytest.approx(expected_std)
+    assert s.ci95 == pytest.approx(3.182 * expected_std / 2)
+    # work_rate of a crashed run is 0 and crashes are counted.
+    crashed = [_fake_record(1, 100), _fake_record(2, 100, crashed=True)]
+    (cell,) = aggregate(crashed)
+    assert cell.crashes == 1
+    assert cell.metrics["work_rate"].minimum == 0.0
+
+
+def test_summarize_degenerate_inputs():
+    empty = summarize([])
+    assert (empty.n, empty.mean, empty.ci95) == (0, 0.0, 0.0)
+    single = summarize([42])
+    assert (single.n, single.mean, single.stddev, single.ci95) == \
+        (1, 42.0, 0.0, 0.0)
+
+
+def test_t_critical_interpolation():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(4) == pytest.approx(2.776)
+    assert t_critical_95(14) == pytest.approx(2.179)   # nearest df below
+    assert t_critical_95(10_000) == pytest.approx(2.042)
+
+
+def test_aggregation_groups_by_cell_and_tables_render():
+    records = []
+    for clb_kb in (8, 16):
+        for seed in (1, 2, 3):
+            records.append(_fake_record(seed, 100 * clb_kb + seed,
+                                        cell_spec=TINY.with_(clb_kb=clb_kb)))
+    cells = aggregate(records)
+    assert [c.n for c in cells] == [3, 3]
+    assert cells[0].seeds == [1, 2, 3]
+    header, rows = summary_rows(cells, metric="cycles")
+    assert "clb_bytes" in header
+    assert len(rows) == 2
