@@ -59,6 +59,16 @@ class BenchProfile:
         ).with_(**changes)
 
 
+def smoke_mode() -> bool:
+    """CI smoke: shrink hot-path benchmark iteration counts to seconds.
+
+    Set ``REPRO_BENCH_SMOKE=1`` to run the hot-path guards
+    (``-k "hotpath or table2"``) with tiny workloads — enough to catch a
+    gross regression in the workflow without the full measurement runs.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "").lower() in ("1", "true", "yes")
+
+
 def current_profile() -> BenchProfile:
     name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
     if name == "full":

@@ -14,13 +14,19 @@ hot-path regression still does.
 
 from repro.sim.kernel import Simulator
 
+from benchmarks.conftest import smoke_mode
+
+SMOKE = smoke_mode()
+
 # Dispatches per measured run; large enough to amortise setup noise.
-EVENTS = 200_000
+# REPRO_BENCH_SMOKE=1 (the CI smoke step) shrinks the run and lowers the
+# floor accordingly — short runs amortise interpreter warmup worse.
+EVENTS = 20_000 if SMOKE else 200_000
 
 # Conservative floor (events/second).  A genuine hot-path regression
 # (e.g. per-comparison callbacks during heap sifting) costs well over
 # the slack this leaves for slow CI hardware.
-MIN_EVENTS_PER_SECOND = 150_000
+MIN_EVENTS_PER_SECOND = 60_000 if SMOKE else 150_000
 
 
 def _self_scheduling_chain(n: int) -> Simulator:

@@ -1,0 +1,152 @@
+"""Network hop hot-path guard (slotted vs legacy scheduling).
+
+The interconnect schedules every switch-to-switch hop of every coherence
+message, so its dispatch cost multiplies across the whole simulator the
+same way the kernel heap does.  The slotted scheme performs leave +
+arrive + depart in one kernel dispatch per hop and batches same-cycle
+hop completions into a single heap entry; the legacy scheme (two
+scheduled closures per hop) is retained behind ``slotted=False`` purely
+so this guard can measure one against the other:
+
+* **throughput** — slotted must dispatch materially fewer kernel events
+  and be >= 20% faster on a steady hop stream (the structural
+  event-count check is noise-free; the wall-clock check is what the
+  speedup claim actually promises);
+* **equivalence** — a full default-4x4 machine run must produce
+  bit-identical ``RunResult`` fields in both modes.  The slotted path is
+  an optimisation, never a model change.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the iteration counts for the CI smoke
+step (see .github/workflows/ci.yml) and relaxes the wall-clock floor,
+keeping the structural assertions intact.
+"""
+
+import time
+
+from repro.config import SystemConfig
+from repro.interconnect.messages import Message, MessageKind
+from repro.interconnect.network import Network
+from repro.interconnect.routing import RoutingTable
+from repro.interconnect.topology import TorusTopology
+from repro.sim.kernel import Simulator
+from repro.system.machine import Machine
+from repro.workloads import by_name
+
+from benchmarks.conftest import run_once, smoke_mode
+
+SMOKE = smoke_mode()
+
+# Messages per timed run; each traverses several switch hops.
+MESSAGES = 2_000 if SMOKE else 20_000
+# Wall-clock floor for slotted vs legacy.  The full-size requirement is
+# the >=20% claim; the smoke floor only guards against gross regressions
+# (tiny runs are noisy).
+MIN_SPEEDUP = 1.05 if SMOKE else 1.20
+# Structural floor, independent of machine load: one event per hop plus
+# same-cycle batching must remove well over a third of legacy's
+# two-events-per-hop dispatches.
+MAX_EVENT_RATIO = 0.6
+TIMING_REPEATS = 3
+
+
+def _hop_stream(slotted: bool, n_messages: int):
+    """A steady self-refuelling hop stream on a bare 4x4 network."""
+    sim = Simulator()
+    topo = TorusTopology(4, 4)
+    net = Network(sim, topo, RoutingTable(topo), slotted=slotted)
+    remaining = [n_messages]
+
+    def deliver(msg: Message) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            net.send(Message(MessageKind.GETS, src=msg.dst,
+                             dst=(msg.dst * 7 + 3) % 16))
+
+    for nid in range(16):
+        net.attach(nid, deliver)
+    for src in range(16):
+        net.send(Message(MessageKind.GETS, src=src, dst=(src + 5) % 16))
+    return sim
+
+
+def _time_stream(slotted: bool) -> tuple:
+    """(best wall seconds, kernel events) over TIMING_REPEATS runs."""
+    best = float("inf")
+    events = None
+    for _ in range(TIMING_REPEATS):
+        sim = _hop_stream(slotted, MESSAGES)
+        started = time.perf_counter()
+        sim.run()
+        best = min(best, time.perf_counter() - started)
+        if events is None:
+            events = sim.events_dispatched
+        else:
+            assert events == sim.events_dispatched  # deterministic
+    return best, events
+
+
+def test_hop_dispatch_throughput(benchmark):
+    def experiment():
+        legacy_s, legacy_events = _time_stream(slotted=False)
+        slotted_s, slotted_events = _time_stream(slotted=True)
+        return legacy_s, legacy_events, slotted_s, slotted_events
+
+    legacy_s, legacy_events, slotted_s, slotted_events = \
+        run_once(experiment, benchmark)
+
+    speedup = legacy_s / slotted_s
+    event_ratio = slotted_events / legacy_events
+    print(f"\nnetwork hop dispatch ({MESSAGES} messages):"
+          f"\n  legacy : {legacy_s:.3f}s, {legacy_events:,} kernel events"
+          f"\n  slotted: {slotted_s:.3f}s, {slotted_events:,} kernel events"
+          f"\n  speedup: {speedup:.2f}x, event ratio {event_ratio:.2f}")
+    assert event_ratio < MAX_EVENT_RATIO, (
+        f"slotted scheduling stopped batching: {slotted_events:,} events vs "
+        f"legacy {legacy_events:,} (ratio {event_ratio:.2f})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"slotted hop dispatch only {speedup:.2f}x faster than legacy "
+        f"(floor {MIN_SPEEDUP:.2f}x)"
+    )
+
+
+def _machine_result(slotted: bool, workload: str, instructions: int):
+    config = SystemConfig.sim_scaled(16)      # the default 4x4 machine
+    machine = Machine(
+        config,
+        by_name(workload, num_cpus=config.num_processors, scale=16, seed=1),
+        seed=1,
+        slotted_network=slotted,
+    )
+    result = machine.run(instructions, max_cycles=10_000_000)
+    # Precondition for mode equivalence: the release-cycle tie (see the
+    # Network class docstring) is only unobservable while no switch
+    # buffer ever saturates and no switch is killed.
+    assert machine.stats.counter("net.buffer_stalls").value == 0, (
+        "equivalence run hit backpressure; its slotted/legacy comparison "
+        "is no longer guaranteed bit-identical")
+    return (result.cycles, result.committed_instructions, result.recoveries,
+            result.completed, result.crashed,
+            machine.stats.counter("net.messages_delivered").value,
+            machine.stats.counter("net.bytes_sent").value)
+
+
+def test_slotted_results_bit_identical(benchmark):
+    instructions = 1_000 if SMOKE else 4_000
+
+    def experiment():
+        out = {}
+        for workload in ("apache", "jbb"):
+            out[workload] = (_machine_result(True, workload, instructions),
+                             _machine_result(False, workload, instructions))
+        return out
+
+    results = run_once(experiment, benchmark)
+    for workload, (slotted, legacy) in results.items():
+        assert slotted == legacy, (
+            f"{workload}: slotted run diverged from legacy\n"
+            f"  slotted: {slotted}\n  legacy : {legacy}"
+        )
+        cycles, committed, recoveries, completed, crashed, _, _ = slotted
+        assert completed and not crashed
+        assert committed >= instructions * 16

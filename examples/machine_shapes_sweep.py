@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""How does SafetyNet behave as the machine grows?  (Beyond the paper.)
+
+The paper evaluates one 16-processor 4x4 torus.  With topology-general
+machine construction (``SystemConfig.from_shape``) and topology-aware
+workloads (shared pools scale with the CPU count), machine shape becomes
+a first-class sweep axis: the same preset exerts comparable per-CPU
+pressure at every size, so differences across shapes are genuinely about
+scale — network diameter, checkpoint-coordination fan-in, recovery
+scope — not about accidentally starved or flooded workloads.
+
+Each (shape, workload, seed) cell is a declarative RunSpec; with
+``--out`` the campaign is resumable.  Equivalent CLI:
+
+    repro sweep --grid torus=2x2,4x4,4x8 --grid workload=apache,jbb \\
+        --seeds 3 --jobs 4 --out shapes.jsonl
+
+Run:  python examples/machine_shapes_sweep.py [--jobs 4] [--out shapes.jsonl]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.experiments import ResultStore, Runner, RunSpec, Sweep, aggregate
+
+SHAPES = ["2x2", "4x4", "4x8"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--out", default=None,
+                        help="JSONL store; makes the sweep resumable")
+    parser.add_argument("--instructions", type=int, default=3_000,
+                        help="measured instructions per CPU")
+    parser.add_argument("--seeds", type=int, default=3)
+    args = parser.parse_args()
+
+    sweep = Sweep(
+        base=RunSpec(instructions=args.instructions, scale=16,
+                     max_cycles=10_000_000),
+        grid={"torus": SHAPES, "workload": ["apache", "jbb"]},
+        seeds=args.seeds,
+    )
+    store = ResultStore(args.out) if args.out else None
+    runner = Runner(jobs=args.jobs, store=store, progress=print)
+    records = runner.run(sweep.expand())
+
+    rows = []
+    for cell in aggregate(records):
+        cpus = cell.cell["torus_width"] * cell.cell["torus_height"]
+        cycles = cell.metrics["cycles"]
+        rate = cell.metrics["work_rate"]
+        rows.append((
+            f"{cell.cell['torus_width']}x{cell.cell['torus_height']}",
+            cell.cell["workload"],
+            cpus,
+            f"{cycles.mean:,.0f} +- {cycles.ci95:,.0f}",
+            f"{rate.mean:.3f}",
+            f"{rate.mean / cpus:.4f}",
+            cell.crashes,
+        ))
+    print(format_table(
+        ["shape", "workload", "CPUs", "cycles (95% CI)", "system IPC",
+         "IPC/CPU", "crashes"],
+        rows,
+        title="Machine-shape sweep (per-cell means over seed replicates)",
+    ))
+    print("\nPer-CPU throughput stays in one regime across shapes because "
+          "the workload's shared pools scale with the CPU count; total "
+          "runtime grows with network diameter and validation fan-in.")
+
+
+if __name__ == "__main__":
+    main()

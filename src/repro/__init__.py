@@ -11,8 +11,9 @@ Quick start::
 
     from repro import Machine, SystemConfig, workloads
 
-    cfg = SystemConfig.sim_scaled()
-    machine = Machine(cfg, workloads.apache(num_cpus=16, scale=16), seed=1)
+    cfg = SystemConfig.sim_scaled()    # the paper's 4x4; from_shape(W, H) for others
+    machine = Machine(cfg, workloads.apache(num_cpus=cfg.num_processors,
+                                            scale=16), seed=1)
     machine.inject_transient_faults(period=60_000)
     result = machine.run(instructions_per_cpu=20_000)
     assert not result.crashed          # SafetyNet survives the faults

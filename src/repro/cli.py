@@ -7,6 +7,10 @@ Usage (installed as ``python -m repro`` or the ``repro`` console script):
     python -m repro run --workload jbb --fault switch --unprotected
     python -m repro sweep --grid workload=apache,oltp --grid clb_kb=16,32 \\
         --seeds 3 --jobs 4 --out results.jsonl    # parallel, resumable
+    python -m repro sweep --grid torus=2x2,4x4,4x8 --grid workload=apache,jbb \\
+        --seeds 3 --out shapes.jsonl              # machine-shape campaign
+    python -m repro sweep --status --out results.jsonl   # campaign progress
+    python -m repro run --workload oltp --torus 4x8      # one 32-node run
     python -m repro character                 # Table 3 workload summary
     python -m repro config [--paper]          # Table 2 parameters
 
@@ -21,7 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import format_table
-from repro.config import SystemConfig
+from repro.config import SystemConfig, parse_shape
 from repro.experiments import (
     ResultStore,
     Runner,
@@ -30,6 +34,7 @@ from repro.experiments import (
     aggregate,
     build_machine,
     summary_rows,
+    varied_keys,
 )
 from repro.system.machine import Machine
 from repro.workloads import WORKLOAD_NAMES, by_name, workload_character
@@ -59,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warmup instructions per CPU (0 = none)")
         p.add_argument("--scale", type=int, default=16,
                        help="divide the paper's sizes by this factor")
+        p.add_argument("--torus", default=None, metavar="WxH",
+                       help="machine shape, e.g. 2x2, 4x8, 8x8 "
+                            "(default: the preset's own 4x4)")
         p.add_argument("--fault", choices=FAULTS, default="none")
         p.add_argument("--period", type=int, default=period,
                        help="cycles between transient faults")
@@ -94,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = in-process serial)")
     sweep.add_argument("--out", default=None,
                        help="JSONL result store; enables resume")
+    sweep.add_argument("--status", action="store_true",
+                       help="inspect the --out store (completed/pending "
+                            "counts, sweep axes) without running anything")
     sweep.add_argument("--metric", default="cycles",
                        choices=["cycles", "work_rate", "recoveries",
                                 "lost_instructions",
@@ -111,12 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _spec_from_args(args, *, seed: Optional[int] = None) -> RunSpec:
     """Map the shared run/sweep flags onto a RunSpec."""
+    shape = parse_shape(args.torus) if args.torus else (None, None)
     return RunSpec(
         workload=args.workload,
         instructions=args.instructions,
         warmup=args.warmup,
         seed=seed if seed is not None else getattr(args, "seed", 1),
         scale=args.scale,
+        torus_width=shape[0],
+        torus_height=shape[1],
         safetynet=not args.unprotected,
         interval=args.interval,
         clb_bytes=args.clb_kb * 1024 if args.clb_kb is not None else None,
@@ -135,7 +149,11 @@ def _build_machine(args) -> Machine:
 
 
 def cmd_run(args, out) -> int:
-    machine = _build_machine(args)
+    try:
+        machine = _build_machine(args)
+    except ValueError as exc:
+        print(f"bad run: {exc}", file=out)
+        return 1
     if args.warmup > 0:
         result = machine.run_with_warmup(args.warmup, args.instructions,
                                          max_cycles=args.max_cycles)
@@ -204,7 +222,67 @@ def _parse_grid(args_grid: List[str]) -> dict:
     return grid
 
 
+def cmd_sweep_status(args, out) -> int:
+    """Read-only campaign inspection: what is in the store, what remains.
+
+    With ``--grid`` axes the current campaign definition is expanded and
+    compared against the store (completed/pending runs and cells);
+    without, the store's own contents are summarised.
+    """
+    if not args.out:
+        print("sweep --status needs --out (the campaign's JSONL store)",
+              file=out)
+        return 1
+    store = ResultStore(args.out)
+    cells = aggregate(store.records())
+    axes = varied_keys(cells)
+    rows = [
+        ("store", args.out),
+        ("completed runs", len(store)),
+        ("completed cells", len(cells)),
+        ("malformed lines", store.malformed_lines),
+        ("sweep axes", ", ".join(axes) if axes else "-"),
+    ]
+    for key in axes:
+        values = {c.cell.get(key) for c in cells}
+        # Absent optional fields (e.g. shape axes on pre-shape records)
+        # mean "the preset's default", not a value called None.
+        has_default = None in values
+        values.discard(None)
+        ordered = sorted(values, key=lambda v: (isinstance(v, str), v))
+        labels = (["default"] if has_default else []) + \
+            [str(v) for v in ordered]
+        rows.append((f"  {key} values", ", ".join(labels)))
+    grid = _parse_grid(args.grid)
+    if grid:
+        try:
+            specs = Sweep(base=_spec_from_args(args), grid=grid,
+                          seeds=args.seeds).expand()
+        except (ValueError, TypeError) as exc:
+            print(f"bad sweep: {exc}", file=out)
+            return 1
+        by_cell: dict = {}
+        for spec in specs:
+            by_cell.setdefault(spec.cell_hash, []).append(spec)
+        done_cells = sum(
+            1 for specs_in_cell in by_cell.values()
+            if all(s.spec_hash in store for s in specs_in_cell))
+        done_runs = sum(1 for s in specs if s.spec_hash in store)
+        rows += [
+            ("campaign axes", ", ".join(grid)),
+            ("campaign runs", f"{done_runs}/{len(specs)} complete, "
+                              f"{len(specs) - done_runs} pending"),
+            ("campaign cells", f"{done_cells}/{len(by_cell)} complete, "
+                               f"{len(by_cell) - done_cells} pending"),
+        ]
+    print(format_table(["field", "value"], rows,
+                       title="campaign status"), file=out)
+    return 0
+
+
 def cmd_sweep(args, out) -> int:
+    if args.status:
+        return cmd_sweep_status(args, out)
     grid = _parse_grid(args.grid)
     try:
         if args.jobs < 1:

@@ -14,8 +14,17 @@ Two presets are provided:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
+
+
+def parse_shape(text: str) -> Tuple[int, int]:
+    """Parse a ``"WxH"`` machine-shape string (e.g. ``"4x8"``)."""
+    match = re.fullmatch(r"\s*(\d+)\s*[xX]\s*(\d+)\s*", str(text))
+    if not match:
+        raise ValueError(f"machine shape must look like '4x4', got {text!r}")
+    return int(match.group(1)), int(match.group(2))
 
 
 @dataclass(frozen=True)
@@ -92,6 +101,25 @@ class SystemConfig:
             )
 
     # -- derived quantities -------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.torus_width, self.torus_height
+
+    @property
+    def block_bits(self) -> int:
+        return self.block_size.bit_length() - 1
+
+    def home_node(self, addr: int) -> int:
+        """Home-node hash: block-interleaved across however many nodes the
+        machine has (the machine-wide replacement for hard-coded ``% 16``)."""
+        return (addr >> self.block_bits) % self.num_processors
+
+    @property
+    def torus_diameter_hops(self) -> int:
+        """Worst-case switch-to-switch hop distance under minimal (ring)
+        routing: half of each dimension's ring, plus one crossover."""
+        return self.torus_width // 2 + self.torus_height // 2 + 1
+
     @property
     def blocks_per_cache(self) -> int:
         return self.l2_size // self.block_size
@@ -177,9 +205,61 @@ class SystemConfig:
             base = base.with_overrides(**overrides)
         return base
 
+    @classmethod
+    def from_shape(cls, width: int, height: int, *, preset: str = "sim_scaled",
+                   scale: int = 16, **overrides) -> "SystemConfig":
+        """A ``width x height`` torus machine with size-aware defaults.
+
+        The paper's presets are all 4x4 (``tiny`` is 2x2); this is the
+        constructor for every other shape.  Parameters that should track
+        machine size are re-derived from the preset's values:
+
+        * ``num_processors`` / ``torus_width`` / ``torus_height`` follow the
+          shape (home-node interleaving and workload layout follow
+          ``num_processors`` automatically).
+        * ``request_timeout``, ``watchdog_timeout``, and
+          ``service_broadcast_latency`` scale with the network diameter —
+          a request on an 8x8 torus legitimately takes twice the 4x4
+          round-trip before a timeout means "lost message" rather than
+          "far away".
+
+        Per-node quantities (cache sizes, per-controller CLB capacity, the
+        checkpoint interval) are intentionally *not* scaled: the paper
+        sizes them per controller, so total capacity already grows with
+        the node count.  Explicit ``overrides`` always win.  Requesting
+        the preset's own shape returns that preset unchanged.
+        """
+        if width < 2 or height < 2:
+            raise ValueError("torus must be at least 2x2")
+        if preset == "paper":
+            base = cls.paper()
+        elif preset == "tiny":
+            base = cls.tiny()
+        elif preset == "sim_scaled":
+            base = cls.sim_scaled(scale)
+        else:
+            raise ValueError(
+                f"unknown preset {preset!r}; one of ('sim_scaled', 'paper', 'tiny')")
+        reshaped = base.with_overrides(
+            num_processors=width * height,
+            torus_width=width,
+            torus_height=height,
+        )
+        ratio = max(1.0, reshaped.torus_diameter_hops / base.torus_diameter_hops)
+        derived = {
+            "request_timeout": round(base.request_timeout * ratio),
+            "watchdog_timeout": round(base.watchdog_timeout * ratio),
+            "service_broadcast_latency": round(
+                base.service_broadcast_latency * ratio),
+        }
+        derived.update(overrides)
+        return reshaped.with_overrides(**derived)
+
     def table2(self) -> Dict[str, str]:
         """Render the configuration as the paper's Table 2 rows."""
         return {
+            "Processors": f"{self.num_processors}, "
+            f"{self.torus_width}x{self.torus_height} torus",
             "L1 Cache (I and D)": f"{self.l1_size // 1024} KB, {self.l1_assoc}-way set associative",
             "L2 Cache": f"{self.l2_size // (1024 * 1024)} MB, {self.l2_assoc}-way set-associative"
             if self.l2_size >= 1024 * 1024
@@ -190,7 +270,8 @@ class SystemConfig:
             "Miss From Memory": f"{self.uncontended_2hop_latency()} ns (uncontended, 2-hop)",
             "Checkpoint Log Buffer": f"{self.clb_size_bytes // 1024} kbytes total, "
             f"{self.clb_entry_bytes} byte entries",
-            "Interconnection Network": "2D torus, link b/w = "
+            "Interconnection Network": f"{self.torus_width}x{self.torus_height} "
+            "2D torus, link b/w = "
             f"{self.link_bandwidth_bytes_per_cycle:.1f} GB/sec",
             "Checkpoint Interval": f"{self.checkpoint_interval:,} cycles",
         }

@@ -132,15 +132,27 @@ def aggregate(
 
 
 def varied_keys(cells: Sequence[CellSummary]) -> List[str]:
-    """The cell fields that actually differ across the campaign."""
+    """The cell fields that actually differ across the campaign.
+
+    Keys are unioned across all cells (first-appearance order): optional
+    canonical fields like ``torus_width`` are absent from default-shape
+    cells, and a store mixing default-shape and shape-sweep records
+    still varies along the shape axes.
+    """
     if not cells:
         return []
     keys: List[str] = []
+    seen = set()
+    for cell in cells:
+        for key in cell.cell:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
     first = cells[0].cell
-    for key in first:
-        if any(c.cell.get(key) != first[key] for c in cells[1:]):
-            keys.append(key)
-    return keys
+    return [
+        key for key in keys
+        if any(c.cell.get(key) != first.get(key) for c in cells[1:])
+    ]
 
 
 def summary_rows(

@@ -44,7 +44,11 @@ def build_machine(spec: RunSpec) -> Machine:
         overrides["checkpoint_interval"] = spec.interval
     if spec.clb_bytes is not None:
         overrides["clb_size_bytes"] = spec.clb_bytes
-    if spec.preset == "paper":
+    if spec.torus_width is not None:
+        config = SystemConfig.from_shape(
+            spec.torus_width, spec.torus_height,
+            preset=spec.preset, scale=spec.scale, **overrides)
+    elif spec.preset == "paper":
         config = SystemConfig.paper(**overrides)
     elif spec.preset == "tiny":
         config = SystemConfig.tiny(**overrides)

@@ -29,14 +29,32 @@ from functools import cached_property
 from itertools import product
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.config import parse_shape
 from repro.workloads import WORKLOAD_NAMES
 
 FAULT_KINDS = ("none", "transient", "switch", "corrupt", "misroute")
 PRESETS = ("sim_scaled", "paper", "tiny")
 
-#: Grid keys that are conveniences rather than RunSpec fields.
+#: RunSpec fields omitted from the canonical form while at their default.
+#: They were added after stores existed; hiding the defaults keeps every
+#: pre-existing spec hash (and therefore every ResultStore) valid.
+_OPTIONAL_CANONICAL_FIELDS = ("torus_width", "torus_height")
+
+
+def _shape_changes(value) -> Dict[str, int]:
+    """Expand a ``"WxH"`` string (or ``(W, H)`` pair) into spec fields."""
+    if isinstance(value, (tuple, list)):
+        width, height = value
+    else:
+        width, height = parse_shape(value)
+    return {"torus_width": int(width), "torus_height": int(height)}
+
+
+#: Grid keys that are conveniences rather than RunSpec fields; each maps
+#: a sweep-axis value onto one or more real field changes.
 _GRID_ALIASES = {
-    "clb_kb": ("clb_bytes", lambda v: int(v) * 1024),
+    "clb_kb": lambda v: {"clb_bytes": int(v) * 1024},
+    "torus": _shape_changes,
 }
 
 
@@ -60,6 +78,8 @@ class RunSpec:
     # -- machine shape ----------------------------------------------------
     preset: str = "sim_scaled"         # sim_scaled | paper | tiny
     scale: int = 16                    # divisor for sim_scaled sizes
+    torus_width: Optional[int] = None  # None = the preset's own shape
+    torus_height: Optional[int] = None
     safetynet: bool = True
     interval: Optional[int] = None     # checkpoint-interval override (cycles)
     clb_bytes: Optional[int] = None    # CLB capacity override (bytes)
@@ -83,6 +103,12 @@ class RunSpec:
             raise ValueError(f"unknown preset {self.preset!r}; one of {PRESETS}")
         if self.instructions <= 0:
             raise ValueError("instructions must be positive")
+        if (self.torus_width is None) != (self.torus_height is None):
+            raise ValueError(
+                "torus_width and torus_height must be set together")
+        if self.torus_width is not None and (
+                self.torus_width < 2 or self.torus_height < 2):
+            raise ValueError("torus must be at least 2x2")
         # Normalise the override tuple so field order never affects the hash.
         object.__setattr__(
             self, "config_overrides",
@@ -93,12 +119,19 @@ class RunSpec:
     # Identity
     # ------------------------------------------------------------------
     def canonical(self) -> Dict[str, Any]:
-        """The spec as a plain JSON-safe dict (stable field order)."""
+        """The spec as a plain JSON-safe dict (stable field order).
+
+        Late-added fields are omitted while at their defaults (see
+        ``_OPTIONAL_CANONICAL_FIELDS``): a default-shape spec canonicalises
+        — and hashes — exactly as it did before the fields existed.
+        """
         out: Dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "config_overrides":
                 value = {k: v for k, v in value}
+            if value is None and f.name in _OPTIONAL_CANONICAL_FIELDS:
+                continue
             out[f.name] = value
         return out
 
@@ -126,9 +159,9 @@ class RunSpec:
 
     def with_(self, **changes) -> "RunSpec":
         """Functional update (``dataclasses.replace`` with alias support)."""
-        for alias, (target, conv) in _GRID_ALIASES.items():
+        for alias, expand in _GRID_ALIASES.items():
             if alias in changes:
-                changes[target] = conv(changes.pop(alias))
+                changes.update(expand(changes.pop(alias)))
         return replace(self, **changes)
 
     @classmethod

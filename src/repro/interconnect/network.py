@@ -6,6 +6,13 @@ a pipeline latency and has finite buffering, and faults act exactly where
 the paper puts them: a transient can drop one message inside a switch, and
 killing a half-switch loses every message buffered in it plus anything that
 later arrives there (until the routing tables are recomputed around it).
+
+Hop scheduling is *slotted*: each hop is one kernel dispatch that performs
+leave + arrive + depart together, and hops completing on the same cycle
+share a single heap entry (see :meth:`Network._schedule_hop`).  The legacy
+two-events-per-hop scheme is retained behind ``slotted=False`` purely as
+the reference for the differential guard in
+``benchmarks/test_network_hotpath.py``.
 """
 
 from __future__ import annotations
@@ -38,7 +45,24 @@ class _Flight:
 
 
 class Network:
-    """The interconnect: inject with :meth:`send`, receive via endpoints."""
+    """The interconnect: inject with :meth:`send`, receive via endpoints.
+
+    Residency semantics: a message occupies a switch buffer from the
+    moment it is accepted until it is fully serialised onto the outgoing
+    link.  The slotted path records that release time per entry
+    (``_resident_until``) and finalises it in the hop dispatch itself,
+    instead of paying a dedicated ``net.leave`` kernel event per hop.
+    One boundary case is mode-dependent: an observation (capacity check
+    or switch kill) landing on *exactly* the release cycle sees the
+    entry gone in slotted mode, while legacy mode resolves the tie by
+    kernel event order (the ``net.leave`` event's insertion sequence),
+    which is history-dependent.  Slotted is therefore the deterministic
+    definition.  The modes produce bit-identical results on runs where
+    the tie is never observed — no switch kills and no buffer
+    saturation; the differential guard in
+    ``benchmarks/test_network_hotpath.py`` compares such runs and
+    asserts its own precondition (``buffer_stalls == 0``).
+    """
 
     def __init__(
         self,
@@ -51,6 +75,7 @@ class Network:
         link_latency: int = 4,
         bytes_per_cycle: float = 6.4,
         buffer_capacity: int = 64,
+        slotted: bool = True,
         name: str = "net",
     ) -> None:
         self.sim = sim
@@ -61,11 +86,17 @@ class Network:
         self.link_latency = link_latency
         self.bytes_per_cycle = bytes_per_cycle
         self.buffer_capacity = buffer_capacity
+        self.slotted = slotted
         self._name = name
 
         self._endpoints: Dict[int, DeliverFn] = {}
         self._link_free: Dict[Tuple[Vertex, Vertex], int] = {}
+        # Legacy residency: membership managed by net.leave events.
         self._resident: Dict[Vertex, Set[int]] = defaultdict(set)
+        # Slotted residency: msg_id -> cycle the buffer entry is released.
+        self._resident_until: Dict[Vertex, Dict[int, int]] = defaultdict(dict)
+        # Slotted hop batches: arrival cycle -> flights completing a hop then.
+        self._slots: Dict[int, List[_Flight]] = {}
         self._in_flight: Dict[int, _Flight] = {}
         self._drop_hooks: List[DropHook] = []
         self._lost_listeners: List[LostFn] = []
@@ -94,7 +125,11 @@ class Network:
         if msg.dst == msg.src:
             # Local delivery still costs the node-internal latency.  The
             # epoch guard makes drain() discard queued local deliveries too.
+            # Local traffic counts toward both send counters: bandwidth
+            # accounting (Fig. 7) sums bytes over *all* coherence traffic,
+            # and a node's home slice legitimately serves its own cache.
             self.stats.counter(f"{self._name}.messages_sent").add()
+            self.stats.counter(f"{self._name}.bytes_sent").add(msg.size_bytes)
             epoch = self._epoch
             self.sim.schedule_after(
                 1,
@@ -134,16 +169,55 @@ class Network:
             self.stats.counter(f"{self._name}.contention_cycles").add(wait)
         switch_delay = self.switch_latency if here[0] == "sw" else 1
         arrive_at = start + ser + self.link_latency + switch_delay
-        # The message stays resident in the current switch until it is
-        # fully on the wire; model residency until link start + ser.
-        self.sim.schedule(
-            arrive_at, lambda f=flight: self._arrive(f), "net.hop"
-        )
-        if here[0] == "sw":
+        # The message occupies the current switch buffer until it is fully
+        # on the wire (link start + serialisation).
+        if self.slotted:
+            if here[0] == "sw":
+                self._resident_until[here][flight.msg.msg_id] = start + ser
+            self._schedule_hop(flight, arrive_at)
+        else:
             self.sim.schedule(
-                start + ser, lambda f=flight, v=here: self._leave(f, v), "net.leave"
+                arrive_at, lambda f=flight: self._arrive(f), "net.hop"
             )
+            if here[0] == "sw":
+                self.sim.schedule(
+                    start + ser, lambda f=flight, v=here: self._leave(f, v),
+                    "net.leave"
+                )
 
+    # -- slotted scheduling --------------------------------------------
+    def _schedule_hop(self, flight: _Flight, when: int) -> None:
+        """Queue a hop completion; same-cycle hops share one kernel event."""
+        bucket = self._slots.get(when)
+        if bucket is None:
+            self._slots[when] = [flight]
+            self.sim.schedule(when, self._advance_slot, "net.hop")
+        else:
+            bucket.append(flight)
+
+    def _advance_slot(self) -> None:
+        """Dispatch every hop completing this cycle in one kernel event."""
+        bucket = self._slots.pop(self.sim.now, None)
+        if not bucket:
+            return
+        for flight in bucket:
+            if flight.dropped or flight.epoch != self._epoch:
+                continue
+            self._arrive(flight)
+
+    def _occupancy(self, vertex: Vertex) -> int:
+        """Live buffer entries at ``vertex`` (slotted mode), pruning
+        entries whose release time has passed."""
+        table = self._resident_until.get(vertex)
+        if not table:
+            return 0
+        now = self.sim.now
+        released = [mid for mid, until in table.items() if until <= now]
+        for mid in released:
+            del table[mid]
+        return len(table)
+
+    # -- shared arrival logic ------------------------------------------
     def _leave(self, flight: _Flight, vertex: Vertex) -> None:
         self._resident[vertex].discard(flight.msg.msg_id)
 
@@ -151,6 +225,12 @@ class Network:
         if flight.dropped or flight.epoch != self._epoch:
             return
         flight.index += 1
+        if self.slotted:
+            # Leave, finalised: the entry's release time already passed
+            # (it was start + ser, strictly before this arrival).
+            prev = flight.path[flight.index - 1]
+            if prev[0] == "sw":
+                self._resident_until[prev].pop(flight.msg.msg_id, None)
         vertex = flight.path[flight.index]
         if vertex[0] == "sw":
             half: HalfSwitchId = vertex[1]
@@ -161,7 +241,9 @@ class Network:
                 if hook(flight.msg, vertex):
                     self._lose(flight, f"fault injection at {half}")
                     return
-            if len(self._resident[vertex]) >= self.buffer_capacity:
+            occupancy = (self._occupancy(vertex) if self.slotted
+                         else len(self._resident[vertex]))
+            if occupancy >= self.buffer_capacity:
                 # Backpressure: retry entering the switch shortly.
                 flight.index -= 1
                 self.stats.counter(f"{self._name}.buffer_stalls").add()
@@ -169,7 +251,10 @@ class Network:
                     4, lambda f=flight: self._arrive_retry(f), "net.buffer_retry"
                 )
                 return
-            self._resident[vertex].add(flight.msg.msg_id)
+            if not self.slotted:
+                self._resident[vertex].add(flight.msg.msg_id)
+            # Slotted residency is recorded in _depart, which runs within
+            # this same dispatch and knows the buffer-release time.
             self._depart(flight)
         else:
             # Destination endpoint.
@@ -207,12 +292,17 @@ class Network:
         Routing is NOT recomputed here — that is the recovery-time
         reconfiguration step (:meth:`reconfigure`)."""
         vertex: Vertex = ("sw", half)
-        victims = list(self._resident.get(vertex, ()))
+        if self.slotted:
+            now = self.sim.now
+            table = self._resident_until.pop(vertex, {})
+            victims = [mid for mid, until in table.items() if until > now]
+        else:
+            victims = list(self._resident.get(vertex, ()))
+            self._resident.pop(vertex, None)
         for msg_id in victims:
             flight = self._in_flight.get(msg_id)
             if flight is not None:
                 self._lose(flight, f"killed with switch {half}")
-        self._resident.pop(vertex, None)
         self.topology.kill_half_switch(half)
         return len(victims)
 
@@ -225,10 +315,14 @@ class Network:
 
         All state related to in-progress transactions is unvalidated and
         logically after the recovery point, so it is simply thrown away.
+        Slot buckets are left in place: their already-scheduled kernel
+        events skip stale-epoch flights and continue to serve any
+        post-recovery hops that land on the same cycles.
         """
         count = len(self._in_flight)
         self._epoch += 1
         self._in_flight.clear()
         self._resident.clear()
+        self._resident_until.clear()
         self._link_free.clear()
         return count

@@ -1,4 +1,4 @@
-"""System assembly: nodes, the 16-way machine, and fault campaigns."""
+"""System assembly: nodes, the W x H torus machine, and fault campaigns."""
 
 from repro.system.node import IoHooks, Node
 from repro.system.machine import Machine, RunResult

@@ -1,4 +1,4 @@
-"""The full machine: 16 processor-memory nodes on a half-switch torus,
+"""The full machine: W x H processor-memory nodes on a half-switch torus,
 with or without SafetyNet.
 
 :class:`Machine` is the library's main entry point.  It assembles every
@@ -7,8 +7,10 @@ substrate (network, coherence, processors, workload), wires in SafetyNet
 
     from repro import Machine, SystemConfig, workloads
 
-    cfg = SystemConfig.sim_scaled()
-    machine = Machine(cfg, workloads.apache(scale=16), seed=1)
+    cfg = SystemConfig.sim_scaled()                  # the paper's 4x4
+    cfg = SystemConfig.from_shape(4, 8)              # ...or any W x H torus
+    machine = Machine(cfg, workloads.apache(num_cpus=cfg.num_processors,
+                                            scale=16), seed=1)
     result = machine.run(instructions_per_cpu=20_000)
     print(result.cycles, result.crashed, machine.recovery.stats.recoveries)
 """
@@ -70,6 +72,7 @@ class Machine:
         io_input_period: int = 0,
         controller_node: int = 0,
         error_code: Optional[ErrorCode] = None,
+        slotted_network: bool = True,
     ) -> None:
         self.config = config
         self.workload = workload
@@ -89,6 +92,7 @@ class Machine:
             link_latency=config.link_latency,
             bytes_per_cycle=config.link_bandwidth_bytes_per_cycle,
             buffer_capacity=config.switch_buffer_messages,
+            slotted=slotted_network,
         )
 
         # --- logical time -------------------------------------------------
@@ -101,7 +105,9 @@ class Machine:
         )
 
         # --- addresses ----------------------------------------------------
-        block_bits = config.block_size.bit_length() - 1
+        # Same hash as SystemConfig.home_node, bound as a closure over
+        # precomputed ints: home_of runs on every miss/writeback/upgrade.
+        block_bits = config.block_bits
         self._block_bits = block_bits
         self.home_of = lambda addr: (addr >> block_bits) % n
 
@@ -209,6 +215,18 @@ class Machine:
                                      first_at=first_at, count=count)
         self._faults.append(fault)
         return fault
+
+    def disarm_faults(self) -> int:
+        """Permanently stop every armed fault injector; returns how many.
+
+        Campaign-level use: stop wounding the machine (e.g. after a
+        measurement phase, or before draining it for invariant checks)
+        while leaving the machine itself running.  Idempotent — injectors
+        that already stopped are counted but unaffected.
+        """
+        for fault in self._faults:
+            fault.stop()
+        return len(self._faults)
 
     # ------------------------------------------------------------------
     # Run control
@@ -328,8 +346,7 @@ class Machine:
         can recover never drains.  Returns True if the machine fully
         drained within the budget.
         """
-        for fault in self._faults:
-            fault.stop()
+        self.disarm_faults()
         for node in self.nodes:
             node.core.freeze()
 

@@ -37,6 +37,10 @@ class WorkloadSpec:
     Region fractions are of *shared* accesses; the shared address space is
     laid out as [read-only | read-write | migratory] followed by per-CPU
     private regions (and an optional per-CPU allocation-streaming region).
+
+    Footprint fields are calibrated for ``reference_cpus`` processors
+    (the paper's 16); :meth:`for_cpus` rescales the shared pools so the
+    same preset exerts comparable per-CPU pressure on any machine shape.
     """
 
     name: str = "synthetic"
@@ -64,6 +68,37 @@ class WorkloadSpec:
     # phase behaviour (barnes-like): alternate read and update phases
     phase_len: int = 0                # 0 = no phases
     update_store_frac: float = 0.70   # store fraction in update phases
+    # machine shape the footprints above were calibrated for
+    reference_cpus: int = 16
+
+    def for_cpus(self, num_cpus: int) -> "WorkloadSpec":
+        """Rescale the *shared* footprint for a ``num_cpus``-way machine.
+
+        Shared pools (read-only, read-write, migratory) are machine-wide
+        resources: at the reference CPU count each CPU sees ``pool /
+        reference_cpus`` blocks of pressure, so the pools grow or shrink
+        proportionally with the CPU count to keep per-CPU sharing,
+        contention, and invalidation rates comparable across 2x2, 4x4,
+        4x8, and 8x8 tori.  Per-CPU regions (private, hot subsets,
+        allocation streaming) are already per-CPU strides and stay fixed.
+        A ``num_cpus`` equal to ``reference_cpus`` is the identity — the
+        default 16-way machines are bit-for-bit unaffected.
+        """
+        if num_cpus == self.reference_cpus:
+            return self
+        if num_cpus < 1:
+            raise ValueError("need at least one CPU")
+
+        def prop(n: int, floor: int = 8) -> int:
+            return max(floor, round(n * num_cpus / self.reference_cpus))
+
+        return replace(
+            self,
+            ro_shared_blocks=prop(self.ro_shared_blocks),
+            rw_shared_blocks=prop(self.rw_shared_blocks),
+            migratory_blocks=prop(self.migratory_blocks, floor=4),
+            reference_cpus=num_cpus,
+        )
 
     def scaled(self, factor: int) -> "WorkloadSpec":
         """Shrink all footprints by ``factor`` (for tractable sim runs),
@@ -91,11 +126,16 @@ class SyntheticWorkload:
 
     ``op(cpu, index)`` is pure; ``index`` is the count of memory ops the
     CPU has retired.  The instruction count advances by ``gap + 1`` per op.
+
+    The spec is made topology-aware here (:meth:`WorkloadSpec.for_cpus`):
+    every construction path — presets, tests, ``build_machine`` — gets
+    shared pools sized for the actual CPU count.
     """
 
     BLOCK_SHIFT = 6  # 64-byte blocks
 
     def __init__(self, spec: WorkloadSpec, num_cpus: int, seed: int = 1) -> None:
+        spec = spec.for_cpus(num_cpus)
         self.spec = spec
         self.num_cpus = num_cpus
         self.seed = mix64(seed)

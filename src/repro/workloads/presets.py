@@ -22,6 +22,12 @@ Rate targets (per 1000 instructions, matching the paper's Fig. 6 regime):
 stores ~40-90, misses ~5-20, ownership transfers ~2-10, and at a
 100k-instruction checkpoint interval only a few percent of stores touch
 a block for the first time (the CLB logging rate).
+
+Every preset is topology-aware: the block counts below are calibrated
+for the paper's 16 processors, and :class:`~repro.workloads.base.
+SyntheticWorkload` rescales the shared pools for the actual ``num_cpus``
+(see :meth:`WorkloadSpec.for_cpus`), so the same preset exerts
+comparable per-CPU pressure on a 2x2, 4x8, or 8x8 torus.
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
 """Coverage for switch-buffer backpressure and input-log pruning."""
 
+import pytest
+
 from repro.config import SystemConfig
 from repro.interconnect.messages import Message, MessageKind
 from repro.interconnect.network import Network
@@ -11,13 +13,14 @@ from repro.system.machine import Machine
 from repro.workloads import slashcode
 
 
-def test_switch_buffer_backpressure_delays_but_delivers():
+@pytest.mark.parametrize("slotted", [True, False])
+def test_switch_buffer_backpressure_delays_but_delivers(slotted):
     """With tiny switch buffers, hotspot traffic stalls at switch entry
     (counted) but every message still arrives exactly once."""
     sim = Simulator()
     topo = TorusTopology(4, 4)
     net = Network(sim, topo, RoutingTable(topo), stats=StatsRegistry(),
-                  buffer_capacity=1)
+                  buffer_capacity=1, slotted=slotted)
     delivered = []
     for n in range(16):
         net.attach(n, delivered.append)

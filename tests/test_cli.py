@@ -91,6 +91,52 @@ def test_sweep_runs_resumes_and_summarises(tmp_path):
         assert len(fh.readlines()) == 8  # nothing re-executed or re-written
 
 
+def test_run_on_non_default_torus():
+    code, text = run_cli([
+        "run", "--workload", "apache", "--instructions", "800",
+        "--warmup", "0", "--scale", "64", "--torus", "2x4",
+    ])
+    assert code == 0
+    assert "completed" in text and "True" in text
+
+
+def test_sweep_over_torus_shapes(tmp_path):
+    out_path = str(tmp_path / "shapes.jsonl")
+    code, text = run_cli([
+        "sweep", "--grid", "torus=2x2,2x4", "--instructions", "500",
+        "--scale", "64", "--seeds", "2", "--jobs", "1", "--out", out_path,
+    ])
+    assert code == 0
+    assert "2 cells x 2 seeds = 4 runs" in text
+    # The summary table splits cells along the shape axes.
+    assert "torus_width" in text or "torus_height" in text
+
+
+def test_sweep_status_reports_progress(tmp_path):
+    out_path = str(tmp_path / "status.jsonl")
+    base = ["--grid", "workload=apache,oltp", "--instructions", "600",
+            "--scale", "64", "--seeds", "2", "--out", out_path]
+    # Half the campaign: run only one workload's cells.
+    code, _ = run_cli(["sweep", "--grid", "workload=apache",
+                       "--instructions", "600", "--scale", "64",
+                       "--seeds", "2", "--out", out_path])
+    assert code == 0
+    code, text = run_cli(["sweep", "--status"] + base)
+    assert code == 0
+    assert "campaign status" in text
+    assert "2/4 complete, 2 pending" in text      # runs
+    assert "1/2 complete, 1 pending" in text      # cells
+    assert "workload" in text
+    # Status without a grid just summarises the store.
+    code, text = run_cli(["sweep", "--status", "--out", out_path])
+    assert code == 0
+    assert "completed runs" in text
+    # Status is read-only and refuses to guess the store path.
+    code, text = run_cli(["sweep", "--status"])
+    assert code == 1
+    assert "--out" in text
+
+
 def test_sweep_rejects_bad_grid():
     code, text = run_cli(["sweep", "--grid", "no_such_field=1,2",
                           "--instructions", "100"])

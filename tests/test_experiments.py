@@ -68,6 +68,44 @@ def test_spec_hash_stability():
     assert RunSpec().spec_hash == "50268841473bc14e"
 
 
+def test_default_shape_specs_keep_pre_torus_hashes():
+    # torus_width/torus_height were added after ResultStores existed; a
+    # default-shape spec must hash (and canonicalise) exactly as before,
+    # or every existing campaign store silently re-executes.  These are
+    # golden values captured before the fields existed.
+    assert RunSpec().spec_hash == "50268841473bc14e"
+    canon = RunSpec().canonical()
+    assert "torus_width" not in canon and "torus_height" not in canon
+    explicit = RunSpec(torus_width=4, torus_height=4)
+    assert explicit.spec_hash != RunSpec().spec_hash  # axes are identity
+    assert explicit.canonical()["torus_width"] == 4
+    # Round-trips: old records (no shape keys) and new ones both load.
+    assert RunSpec.from_dict(canon) == RunSpec()
+    assert RunSpec.from_dict(explicit.canonical()) == explicit
+
+
+def test_torus_axis_validation_and_alias():
+    spec = RunSpec().with_(torus="4x8")
+    assert (spec.torus_width, spec.torus_height) == (4, 8)
+    assert RunSpec().with_(torus=(2, 4)).torus_height == 4
+    with pytest.raises(ValueError):
+        RunSpec(torus_width=4)            # height missing
+    with pytest.raises(ValueError):
+        RunSpec(torus_width=1, torus_height=4)
+    sweep = Sweep(base=TINY, grid={"torus": ["2x2", "2x4"]}, seeds=2)
+    specs = sweep.expand()
+    assert [(s.torus_width, s.torus_height) for s in specs] == \
+        [(2, 2), (2, 2), (2, 4), (2, 4)]
+    assert len({s.cell_hash for s in specs}) == 2
+
+
+def test_execute_run_on_non_default_shape():
+    record = execute_run(TINY.with_(torus="2x4", instructions=300))
+    assert record.completed and not record.crashed
+    # 8 CPUs x 300 instructions, warmup none.
+    assert record.target_instructions == 2400
+
+
 def test_spec_roundtrips_through_json():
     spec = TINY.with_(clb_kb=16, fault="transient", fault_period=9_000,
                       config_overrides=(("max_recoveries", 7),))
@@ -195,6 +233,19 @@ def test_t_critical_interpolation():
     assert t_critical_95(4) == pytest.approx(2.776)
     assert t_critical_95(14) == pytest.approx(2.179)   # nearest df below
     assert t_critical_95(10_000) == pytest.approx(2.042)
+
+
+def test_varied_keys_spans_mixed_shape_stores():
+    # Optional canonical fields are absent from default-shape cells; a
+    # store mixing pre-shape and shape-sweep records must still report
+    # the shape axes as varying.
+    from repro.experiments import varied_keys
+
+    records = [_fake_record(1, 100),
+               _fake_record(1, 120, cell_spec=TINY.with_(torus="2x2")),
+               _fake_record(1, 140, cell_spec=TINY.with_(torus="4x8"))]
+    keys = varied_keys(aggregate(records))
+    assert "torus_width" in keys and "torus_height" in keys
 
 
 def test_aggregation_groups_by_cell_and_tables_render():

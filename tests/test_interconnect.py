@@ -133,6 +133,18 @@ def test_local_send_delivers_to_self():
     assert len(inbox) == 1 and inbox[0].data == 7
 
 
+def test_local_send_counts_bytes():
+    # Regression: local (src == dst) delivery used to count the message
+    # but not its bytes, under-reporting Fig. 7-style bandwidth.
+    sim, topo, routing, net = make_net()
+    net.attach(3, lambda m: None)
+    msg = Message(MessageKind.DATA, src=3, dst=3, data=7)
+    net.send(msg)
+    sim.run(limit=100)
+    assert net.stats.counter("net.messages_sent").value == 1
+    assert net.stats.counter("net.bytes_sent").value == msg.size_bytes
+
+
 def test_data_messages_serialize_longer_than_control():
     sim, topo, routing, net = make_net()
     t = {}
@@ -179,8 +191,9 @@ def test_drop_hook_loses_message_and_notifies():
     assert net.stats.counter("net.messages_lost").value == 1
 
 
-def test_kill_switch_loses_buffered_and_future_messages():
-    sim, topo, routing, net = make_net()
+@pytest.mark.parametrize("slotted", [True, False])
+def test_kill_switch_loses_buffered_and_future_messages(slotted):
+    sim, topo, routing, net = make_net(slotted=slotted)
     delivered, lost = [], []
     for nid in range(16):
         net.attach(nid, delivered.append)
@@ -206,8 +219,9 @@ def test_kill_switch_loses_buffered_and_future_messages():
     assert len(delivered) == 1
 
 
-def test_drain_discards_in_flight():
-    sim, topo, routing, net = make_net()
+@pytest.mark.parametrize("slotted", [True, False])
+def test_drain_discards_in_flight(slotted):
+    sim, topo, routing, net = make_net(slotted=slotted)
     delivered = []
     for nid in range(16):
         net.attach(nid, delivered.append)

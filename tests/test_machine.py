@@ -87,7 +87,7 @@ def test_io_commit_integration():
     machine = tiny_machine(workload=wl, seed=7)
     machine_io = Machine(machine.config, wl, seed=7,
                          io_output_period=500, io_input_period=700)
-    machine_io.inject_transient_faults(period=25_000, first_at=8_000, count=2)
+    machine_io.inject_transient_faults(period=10_000, first_at=6_000, count=2)
     result = machine_io.run(instructions_per_cpu=6_000, max_cycles=2_000_000)
     assert result.completed and not result.crashed
     released = [n.commit.released for n in machine_io.nodes]
@@ -101,6 +101,20 @@ def test_io_commit_integration():
     total_replays = sum(n.input_log.replays for n in machine_io.nodes)
     assert result.recoveries >= 1
     assert total_replays >= 0  # replays occur only if rollback crossed a key
+
+
+def test_disarm_faults_is_public_and_idempotent():
+    """Campaign-level disarm: stop wounding the machine without draining
+    it (quiesce still disarms as a side effect, via the same method)."""
+    machine = tiny_machine(workload=oltp(num_cpus=4, scale=64, seed=3), seed=3)
+    fault = machine.inject_transient_faults(period=5_000, first_at=2_000)
+    assert machine.disarm_faults() == 1
+    assert fault._stopped
+    assert machine.disarm_faults() == 1   # idempotent
+    result = machine.run(instructions_per_cpu=3_000, max_cycles=1_000_000)
+    # A disarmed injector never fires: the run is fault-free.
+    assert result.completed and result.recoveries == 0
+    assert fault.injected == 0
 
 
 def test_stats_snapshot_has_expected_keys():
