@@ -3,10 +3,12 @@
 The interconnect schedules every switch-to-switch hop of every coherence
 message, so its dispatch cost multiplies across the whole simulator the
 same way the kernel heap does.  The slotted scheme performs leave +
-arrive + depart in one kernel dispatch per hop and batches same-cycle
-hop completions into a single heap entry; the legacy scheme (two
-scheduled closures per hop) is retained behind ``slotted=False`` purely
-so this guard can measure one against the other:
+arrive + depart in one kernel dispatch per hop (same-cycle completions
+are deliberately NOT batched into shared heap entries — that reordered
+hop processing against interleaved non-hop events; see the Network
+docstring); the legacy scheme (two scheduled closures per hop) is
+retained behind ``slotted=False`` purely so this guard can measure one
+against the other:
 
 * **throughput** — slotted must dispatch materially fewer kernel events
   and be >= 20% faster on a steady hop stream (the structural
@@ -42,9 +44,8 @@ MESSAGES = 2_000 if SMOKE else 20_000
 # the >=20% claim; the smoke floor only guards against gross regressions
 # (tiny runs are noisy).
 MIN_SPEEDUP = 1.05 if SMOKE else 1.20
-# Structural floor, independent of machine load: one event per hop plus
-# same-cycle batching must remove well over a third of legacy's
-# two-events-per-hop dispatches.
+# Structural floor, independent of machine load: one event per hop must
+# remove essentially half of legacy's two-events-per-hop dispatches.
 MAX_EVENT_RATIO = 0.6
 TIMING_REPEATS = 3
 

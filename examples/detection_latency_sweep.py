@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Recovery-point lag vs detection latency, across machine shapes.
+
+SafetyNet tolerates slow fault detection (long CRC pipelines, signature
+comparison, end-to-end timeouts) by *pipelining* validation behind
+execution (paper §2.4, §3.4): a checkpoint only becomes the recovery
+point once its detection window has closed, so a latency of L cycles
+costs recovery-point *lag* — the distance between the current checkpoint
+number and the recovery point — not throughput, until the lag hits the
+``outstanding_checkpoints`` ceiling and the cores throttle.
+
+This sweep measures that lag directly.  Each broadcast a node applies
+records ``CCN - RPCN`` into the ``rpcn_lag_intervals`` /
+``rpcn_updates`` counters, which the experiments engine harvests into
+every run record; their ratio is the mean lag in checkpoint intervals.
+Crossing detection latency (0, 1, 2 and 3 checkpoint intervals) with
+machine shape (2x2, 4x4, 4x8 tori) separates the detection-window
+contribution — which should track latency and be shape-independent —
+from the coordination fan-in cost, which grows with node count.
+
+Each (shape, latency, seed) cell is a declarative RunSpec; with
+``--out`` the campaign is resumable and writes a manifest next to the
+store.  Run:
+
+    python examples/detection_latency_sweep.py [--jobs 4] [--out lag.jsonl]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.config import SystemConfig
+from repro.experiments import (
+    CampaignManifest,
+    ResultStore,
+    Runner,
+    RunSpec,
+    Sweep,
+    aggregate,
+)
+
+SHAPES = ["2x2", "4x4", "4x8"]
+#: Checkpoint interval pinned well below the run length so every run
+#: spans many validation rounds (the preset default of 12,500 cycles is
+#: about one whole short-run).
+INTERVAL = 2_000
+#: Detection latency in checkpoint intervals.  The last value sits at the
+#: ``outstanding_checkpoints`` ceiling (4), where lag turns into
+#: throttling (paper §3.4's detection-latency tolerance).
+LATENCY_INTERVALS = [0, 1, 2, 4]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--out", default=None,
+                        help="JSONL store; makes the sweep resumable")
+    parser.add_argument("--instructions", type=int, default=3_000,
+                        help="measured instructions per CPU")
+    parser.add_argument("--seeds", type=int, default=3)
+    args = parser.parse_args()
+
+    interval = INTERVAL
+    sweep = Sweep(
+        base=RunSpec(instructions=args.instructions, scale=16,
+                     interval=interval, max_cycles=10_000_000),
+        grid={"torus": SHAPES,
+              "detection_latency": [n * interval for n in LATENCY_INTERVALS]},
+        seeds=args.seeds,
+    )
+    store = ResultStore(args.out) if args.out else None
+    if store is not None:
+        CampaignManifest.record(args.out, sweep)
+    runner = Runner(jobs=args.jobs, store=store, progress=print)
+    records = runner.run(sweep.expand())
+
+    lag_metrics = {
+        "rpcn_lag_intervals":
+            lambda r: r.metrics.get("rpcn_lag_intervals", 0.0),
+        "rpcn_updates": lambda r: r.metrics.get("rpcn_updates", 0.0),
+    }
+    rows = []
+    for cell in aggregate(records, extra=lag_metrics):
+        shape = f"{cell.cell['torus_width']}x{cell.cell['torus_height']}"
+        latency = cell.cell["detection_latency"]
+        lag_sum = cell.metrics["rpcn_lag_intervals"]
+        updates = cell.metrics["rpcn_updates"]
+        mean_lag = lag_sum.mean / updates.mean if updates.mean else 0.0
+        cycles = cell.metrics["cycles"]
+        rows.append((
+            shape,
+            f"{latency // interval} ({latency:,} cyc)",
+            f"{mean_lag:.2f}",
+            f"{cycles.mean:,.0f} +- {cycles.ci95:,.0f}",
+            cell.crashes,
+        ))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    print(format_table(
+        ["shape", "detection latency (intervals)", "mean RPCN lag",
+         "cycles (95% CI)", "crashes"],
+        rows,
+        title="Recovery-point lag vs detection latency (per-cell means)",
+    ))
+    print("\nLag tracks the detection window (~latency/interval extra "
+          "checkpoints outstanding) on every shape; runtime stays flat "
+          "until the lag reaches the outstanding-checkpoint ceiling, "
+          "because validation is pipelined off the critical path.")
+
+
+if __name__ == "__main__":
+    main()

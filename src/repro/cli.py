@@ -14,6 +14,11 @@ Usage (installed as ``python -m repro`` or the ``repro`` console script):
     python -m repro character                 # Table 3 workload summary
     python -m repro config [--paper]          # Table 2 parameters
 
+``sweep --out`` also records the campaign definition (expanded grid,
+shapes, spec hashes) in ``<store>.manifest.json`` next to the store;
+``--status`` audits the store against it (pending runs, unmanifested
+records).
+
 Exit code 0 means the run completed (or, with --unprotected and a fault,
 crashed as expected); 1 flags an unexpected outcome.
 """
@@ -27,6 +32,7 @@ from typing import List, Optional
 from repro.analysis import format_table
 from repro.config import SystemConfig, parse_shape
 from repro.experiments import (
+    CampaignManifest,
     ResultStore,
     Runner,
     RunSpec,
@@ -104,7 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL result store; enables resume")
     sweep.add_argument("--status", action="store_true",
                        help="inspect the --out store (completed/pending "
-                            "counts, sweep axes) without running anything")
+                            "counts, sweep axes, manifest coverage incl. "
+                            "unmanifested records) without running anything")
     sweep.add_argument("--metric", default="cycles",
                        choices=["cycles", "work_rate", "recoveries",
                                 "lost_instructions",
@@ -243,6 +250,25 @@ def cmd_sweep_status(args, out) -> int:
         ("malformed lines", store.malformed_lines),
         ("sweep axes", ", ".join(axes) if axes else "-"),
     ]
+    manifest = CampaignManifest.load(args.out)
+    if manifest is None:
+        rows.append(("manifest", "absent (written by the next sweep run)"))
+    else:
+        orphans = manifest.orphan_records(store.records())
+        orphan_cells = {
+            r.spec.cell_hash for r in orphans
+        } - manifest.cell_hashes()
+        pending = manifest.missing_hashes(store)
+        rows += [
+            ("manifest", manifest.path),
+            ("manifest campaigns", len(manifest.campaigns)),
+            ("manifest runs", f"{len(manifest.spec_hashes())} "
+                              f"({len(pending)} pending)"),
+            # Records no recorded campaign accounts for: candidates for
+            # store garbage collection (ROADMAP store-lifecycle item).
+            ("unmanifested runs", len(orphans)),
+            ("unmanifested cells", len(orphan_cells)),
+        ]
     for key in axes:
         values = {c.cell.get(key) for c in cells}
         # Absent optional fields (e.g. shape axes on pre-shape records)
@@ -296,6 +322,10 @@ def cmd_sweep(args, out) -> int:
           f"= {len(specs)} runs, jobs={args.jobs}"
           + (f", store={args.out}" if args.out else ""), file=out)
     store = ResultStore(args.out) if args.out else None
+    if store is not None:
+        # Record the campaign definition next to the store before running:
+        # an interrupted sweep still leaves an auditable manifest.
+        CampaignManifest.record(args.out, sweep)
     runner = Runner(jobs=args.jobs, store=store,
                     progress=lambda line: print(line, file=out))
     records = runner.run(specs)

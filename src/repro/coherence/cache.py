@@ -114,6 +114,8 @@ class CacheController:
         self.ccn = 1
         self.rpcn = 1
         self.epoch = 0  # bumped on recovery; stale closures no-op
+        # CheckpointParticipant readiness hook (set by the ValidationAgent).
+        self.on_readiness_changed: Optional[Callable[[], None]] = None
 
         self._num_sets = max(1, config.cache_sets)
         self._assoc = config.l2_assoc
@@ -475,6 +477,7 @@ class CacheController:
         del self.mshrs[mshr.addr]
         if mshr.done is not None:
             mshr.done()
+        self._transaction_closed(mshr.start_interval)
 
     def _on_nack(self, msg: Message) -> None:
         mshr = self.mshrs.get(msg.addr)
@@ -561,6 +564,7 @@ class CacheController:
                 self.wb_txns[msg.addr] = mshr
             return
         self.wb_buffer.pop(msg.addr, None)
+        self._transaction_closed(mshr.start_interval)
 
     def _retry_stalled_fwds(self) -> None:
         if not self._stalled_fwds:
@@ -570,8 +574,15 @@ class CacheController:
             self._on_fwd(msg, exclusive=True)
 
     # ------------------------------------------------------------------
-    # SafetyNet checkpoint lifecycle
+    # SafetyNet checkpoint lifecycle (CheckpointParticipant)
     # ------------------------------------------------------------------
+    def _transaction_closed(self, start_interval: int) -> None:
+        """A transaction we initiated completed.  If it began before the
+        current interval it may have been the last thing blocking sign-off
+        of an earlier checkpoint — tell the validation agent."""
+        if start_interval < self.ccn and self.on_readiness_changed is not None:
+            self.on_readiness_changed()
+
     def on_edge(self, new_ccn: int) -> None:
         self.ccn = new_ccn
 

@@ -61,6 +61,8 @@ class MemoryController:
         self.ccn = 1
         self.rpcn = 1
         self.epoch = 0
+        # CheckpointParticipant readiness hook (set by the ValidationAgent).
+        self.on_readiness_changed: Optional[Callable[[], None]] = None
 
         self.values: Dict[int, int] = {}        # sparse; absent -> 0
         self.block_cn: Dict[int, int] = {}      # sparse; absent -> null CN
@@ -364,11 +366,16 @@ class MemoryController:
                 self.c_retags.add()
             current = self.block_cn.get(msg.addr) or 0
             self.block_cn[msg.addr] = max(current, msg.cn)
+        start_interval = txn.start_interval
         del self.busy[msg.addr]
         self._pop_queue(msg.addr)
+        # A transaction serialised in an earlier interval closed; it may
+        # have been the last thing blocking sign-off of that checkpoint.
+        if start_interval < self.ccn and self.on_readiness_changed is not None:
+            self.on_readiness_changed()
 
     # ------------------------------------------------------------------
-    # SafetyNet checkpoint lifecycle
+    # SafetyNet checkpoint lifecycle (CheckpointParticipant)
     # ------------------------------------------------------------------
     def on_edge(self, new_ccn: int) -> None:
         self.ccn = new_ccn

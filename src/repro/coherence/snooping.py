@@ -62,6 +62,8 @@ class SnoopingCache:
         self.blocks: Dict[int, CacheBlock] = {}
         self.pending: Dict[int, Tuple[Message, Optional[int], Callable]] = {}
         self._observed = 0
+        # CheckpointParticipant readiness hook.
+        self.on_readiness_changed: Optional[Callable[[], None]] = None
         bus.subscribe(self.on_snoop)
         bus.attach_data(node_id, self.on_data)
         ns = f"snoop{node_id}"
@@ -113,8 +115,12 @@ class SnoopingCache:
     # ------------------------------------------------------------------
     def on_snoop(self, msg: Message, index: int) -> None:
         # Advance logical time first: the request belongs to this interval.
+        # Monotonic (like on_edge): bus order is the primary time base, but
+        # an external clock edge may already have moved the interval on.
         self._observed = index + 1
-        self.ccn = interval_of(index, self.k)
+        interval = interval_of(index, self.k)
+        if interval > self.ccn:
+            self.ccn = interval
         if msg.kind not in (MessageKind.GETS, MessageKind.GETM):
             return
         block = self.blocks.get(msg.addr)
@@ -160,10 +166,19 @@ class SnoopingCache:
                 self.c_stores_logged.add()
             block.data = value
         done(msg.data)
+        if _issue_interval < self.ccn and self.on_readiness_changed is not None:
+            self.on_readiness_changed()
 
     # ------------------------------------------------------------------
-    # Validation + recovery
+    # Validation + recovery (CheckpointParticipant)
     # ------------------------------------------------------------------
+    def on_edge(self, new_ccn: int) -> None:
+        """External logical-clock hook.  The snooping time base is bus
+        order (``on_snoop`` advances the CCN), so an edge only ever moves
+        the interval forward — it never rewinds past an observed request."""
+        if new_ccn > self.ccn:
+            self.ccn = new_ccn
+
     def min_open_interval(self) -> Optional[int]:
         """Earliest interval with an incomplete request we issued — the
         same validation condition as the directory variant (a checkpoint
@@ -223,13 +238,26 @@ class SnoopingMemory:
         self.values: Dict[int, int] = {}
         self.block_cn: Dict[int, Optional[int]] = {}
         self.owner: Dict[int, Optional[int]] = {}
+        # CheckpointParticipant readiness hook (never fired: the memory
+        # answers synchronously in bus order and holds nothing open).
+        self.on_readiness_changed: Optional[Callable[[], None]] = None
         bus.subscribe(self.on_snoop)
 
     def value_of(self, addr: int) -> int:
         return self.values.get(addr, 0)
 
+    def on_edge(self, new_ccn: int) -> None:
+        """External logical-clock hook (see :meth:`SnoopingCache.on_edge`)."""
+        if new_ccn > self.ccn:
+            self.ccn = new_ccn
+
+    def min_open_interval(self) -> Optional[int]:
+        return None
+
     def on_snoop(self, msg: Message, index: int) -> None:
-        self.ccn = interval_of(index, self.k)
+        interval = interval_of(index, self.k)
+        if interval > self.ccn:   # monotonic, like on_edge
+            self.ccn = interval
         if msg.kind not in (MessageKind.GETS, MessageKind.GETM):
             return
         addr = msg.addr

@@ -66,7 +66,13 @@ class SystemConfig:
     clb_entry_bytes: int = 72               # 8-byte address + 64-byte block
     register_checkpoint_cycles: int = 100   # paper's conservative charge
     max_clock_skew: int = 8                 # cycles of checkpoint-clock skew
-    validation_poll_interval: int = 2_000   # how often components re-check readiness
+    #: Event-driven validation (default) recomputes sign-off only when a
+    #: clock edge, a pre-edge transaction completion, or a detection-latency
+    #: window close can change it; False keeps the legacy poll loop running
+    #: (same announce policy, so both modes are bit-identical — see
+    #: benchmarks/test_validation_hotpath.py).
+    event_driven_validation: bool = True
+    validation_poll_interval: int = 2_000   # legacy-mode readiness re-check cadence
 
     # -- fault handling ------------------------------------------------------
     request_timeout: int = 20_000           # cycles before a requestor times out
@@ -142,6 +148,13 @@ class SystemConfig:
     def detection_latency_tolerance(self) -> int:
         """Paper S3.4: outstanding checkpoints x interval length."""
         return self.outstanding_checkpoints * self.checkpoint_interval
+
+    @property
+    def validation_resync_interval(self) -> int:
+        """How long an un-acknowledged sign-off announcement stands before
+        it is re-sent (dropped-coordination-message insurance, paper §3.5).
+        Well above any clean round trip, well below the watchdog."""
+        return 8 * self.validation_poll_interval
 
     @property
     def data_serialization_cycles(self) -> int:

@@ -7,8 +7,10 @@ This package implements the checkpoint/recovery machinery itself:
   interval).
 * :mod:`repro.core.clock` — the loosely synchronised checkpoint clock that
   serves as the logical time base (skew < minimum network latency).
-* :mod:`repro.core.validation` — pipelined, two-phase checkpoint validation
-  coordinated by redundant service controllers.
+* :mod:`repro.core.validation` — back-compat shim for the pipelined
+  two-phase checkpoint validation, which now lives in
+  :mod:`repro.checkpoint` (agent, service controllers, and the
+  :class:`~repro.checkpoint.participant.CheckpointParticipant` protocol).
 * :mod:`repro.core.recovery` — system recovery and restart orchestration.
 * :mod:`repro.core.commit` — output/input commit handling at the sphere of
   recovery boundary.

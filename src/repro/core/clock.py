@@ -13,12 +13,15 @@ number (CCN) and the processor checkpoints its registers.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.kernel import Simulator
 from repro.sim.rng import DeterministicRng
 
 EdgeCallback = Callable[[int], None]  # receives the new CCN
+
+LABEL_EDGE = sys.intern("ckpt.edge")
 
 
 class ClockConfigError(ValueError):
@@ -84,7 +87,7 @@ class CheckpointClock:
             self.sim.schedule(
                 self.interval + self.skews[node],
                 lambda n=node: self._edge(n),
-                "ckpt.edge",
+                LABEL_EDGE,
             )
 
     def _edge(self, node: int) -> None:
@@ -92,4 +95,4 @@ class CheckpointClock:
         ccn = self._ccn[node]
         for callback in self._callbacks[node]:
             callback(ccn)
-        self.sim.schedule_after(self.interval, lambda n=node: self._edge(n), "ckpt.edge")
+        self.sim.schedule_after(self.interval, lambda n=node: self._edge(n), LABEL_EDGE)

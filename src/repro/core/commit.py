@@ -30,10 +30,22 @@ class OutputCommitBuffer:
         self._pending: List[Tuple[int, Any]] = []  # (interval, payload)
         self.released: List[Any] = []
         self.discarded = 0
+        # CheckpointParticipant members: the buffer tracks the interval for
+        # bookkeeping and never blocks sign-off (buffered outputs wait FOR
+        # validation, not the other way round), so it never fires the
+        # readiness hook.
+        self.ccn = 1
+        self.on_readiness_changed: Optional[Callable[[], None]] = None
 
     def emit(self, interval: int, payload: Any) -> None:
         """Queue an output generated during ``interval``."""
         self._pending.append((interval, payload))
+
+    def on_edge(self, new_ccn: int) -> None:
+        self.ccn = new_ccn
+
+    def min_open_interval(self) -> Optional[int]:
+        return None
 
     @property
     def pending_count(self) -> int:

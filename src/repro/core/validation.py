@@ -1,190 +1,23 @@
-"""Pipelined checkpoint validation (paper §2.4, §3.5).
+"""Back-compat shim: the validation machinery moved to
+:mod:`repro.checkpoint` (the unified checkpoint-lifecycle subsystem).
 
-Checkpoint k may become the recovery point once *every* component agrees
-that all execution before checkpoint k was fault-free:
-
-* a cache controller agrees once every transaction it initiated in
-  intervals before k completed successfully;
-* a directory agrees once every transaction it forwarded with an atomicity
-  interval before k received its FINAL_ACK;
-* optionally, a configured detection latency must elapse past the edge
-  (modelling slow checkers: long CRCs, signature comparison, timeouts).
-
-Coordination is two-phase and off the critical path (a fuzzy barrier):
-components announce readiness to the (redundant) service controllers over
-the interconnect; the controllers broadcast the new recovery-point
-checkpoint number (RPCN) once everyone has signed off.  Announcements are
-re-sent periodically, so a lost coordination message only delays
-validation (and the watchdog turns a persistent stall into a recovery).
+Import :class:`ValidationAgent` and :class:`ServiceControllers` from
+``repro.checkpoint`` in new code; this module keeps the historical
+``repro.core.validation`` import path working.
 """
 
-from __future__ import annotations
+from repro.checkpoint.agent import (
+    LABEL_DETECT,
+    LABEL_POLL,
+    LABEL_RESYNC,
+    ValidationAgent,
+)
+from repro.checkpoint.controllers import ServiceControllers
 
-from typing import Callable, Dict, List, Optional
-
-from repro.config import SystemConfig
-from repro.interconnect.messages import Message, MessageKind
-from repro.interconnect.network import Network
-from repro.sim.kernel import Simulator
-from repro.sim.stats import StatsRegistry
-
-
-class ValidationAgent:
-    """Per-node validation logic: decides readiness, announces it, and
-    applies RPCN broadcasts to the node's components."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        node_id: int,
-        config: SystemConfig,
-        network: Network,
-        cache,
-        home,
-        core,
-        *,
-        edge_time: Callable[[int], int],
-        controller_node: int = 0,
-        detection_latency: int = 0,
-        extra_components: Optional[List] = None,
-    ) -> None:
-        self.sim = sim
-        self.node_id = node_id
-        self.config = config
-        self.network = network
-        self.cache = cache
-        self.home = home
-        self.core = core
-        self.edge_time = edge_time
-        self.controller_node = controller_node
-        self.detection_latency = detection_latency
-        self.extra_components = extra_components or []
-        self.rpcn = 1
-        self._announced = 0
-        self._running = False
-
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._poll()
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _poll(self) -> None:
-        if not self._running:
-            return
-        self.announce_if_ready()
-        self.sim.schedule_after(
-            self.config.validation_poll_interval, self._poll, "validate.poll"
-        )
-
-    # ------------------------------------------------------------------
-    def highest_ready(self) -> int:
-        """The highest checkpoint number this node can sign off on."""
-        k = min(self.cache.ccn, self.home.ccn, self.core.ccn)
-        for bound in (self.cache.min_open_interval(), self.home.min_open_interval()):
-            if bound is not None and bound < k:
-                k = bound
-        if self.detection_latency:
-            while k > self.rpcn and (
-                self.sim.now < self.edge_time(k) + self.detection_latency
-            ):
-                k -= 1
-        return k
-
-    def announce_if_ready(self) -> None:
-        """Send VALIDATE_READY for the highest sign-off-able checkpoint.
-
-        Re-announces every poll until the RPCN catches up, which makes the
-        scheme robust to dropped coordination messages.
-        """
-        if not self._running:
-            return
-        k = self.highest_ready()
-        if k <= self.rpcn:
-            return
-        self._announced = k
-        self.network.send(
-            Message(MessageKind.VALIDATE_READY, src=self.node_id,
-                    dst=self.controller_node, ack_count=k)
-        )
-
-    # ------------------------------------------------------------------
-    def on_rpcn_broadcast(self, rpcn: int) -> None:
-        """Phase two: the controllers advanced the recovery point."""
-        if rpcn <= self.rpcn:
-            return
-        self.rpcn = rpcn
-        self.cache.on_rpcn(rpcn)
-        self.home.on_rpcn(rpcn)
-        self.core.on_rpcn(rpcn)
-        for component in self.extra_components:
-            component.on_rpcn(rpcn)
-
-    def on_recovery(self, rpcn: int) -> None:
-        self._announced = 0
-
-
-class ServiceControllers:
-    """The redundant system service controllers (paper §3.1, §3.5).
-
-    Collect per-node sign-offs and broadcast recovery-point advances.  The
-    pair is modelled as one logical entity that is never a single point of
-    failure (the paper uses redundant controllers; we model their function
-    and their message traffic, not their internals).
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        config: SystemConfig,
-        network: Network,
-        num_nodes: int,
-        stats: StatsRegistry,
-        *,
-        home_node: int = 0,
-    ) -> None:
-        self.sim = sim
-        self.config = config
-        self.network = network
-        self.num_nodes = num_nodes
-        self.stats = stats
-        self.home_node = home_node
-        self.rpcn = 1
-        self.ready: Dict[int, int] = {n: 1 for n in range(num_nodes)}
-        self.last_advance_cycle = 0
-        self.c_advances = stats.counter("controllers.rpcn_advances")
-        self.c_broadcasts = stats.counter("controllers.broadcasts")
-
-    def on_validate_ready(self, node: int, k: int) -> None:
-        if k > self.ready.get(node, 0):
-            self.ready[node] = k
-        self._maybe_advance()
-
-    def _maybe_advance(self) -> None:
-        new_rpcn = min(self.ready.values())
-        if new_rpcn > self.rpcn:
-            self.rpcn = new_rpcn
-            self.last_advance_cycle = self.sim.now
-            self.c_advances.add()
-            self._broadcast(new_rpcn)
-
-    def _broadcast(self, rpcn: int) -> None:
-        self.c_broadcasts.add()
-        for node in range(self.num_nodes):
-            self.network.send(
-                Message(MessageKind.RPCN_BROADCAST, src=self.home_node,
-                        dst=node, ack_count=rpcn)
-            )
-
-    def on_recovery(self, rpcn: int) -> None:
-        """Reset sign-off state; nodes re-announce after restart."""
-        self.ready = {n: rpcn for n in range(self.num_nodes)}
-        self.last_advance_cycle = self.sim.now
-
-    def stalled_for(self) -> int:
-        """Cycles since the recovery point last advanced (watchdog input)."""
-        return self.sim.now - self.last_advance_cycle
+__all__ = [
+    "LABEL_DETECT",
+    "LABEL_POLL",
+    "LABEL_RESYNC",
+    "ServiceControllers",
+    "ValidationAgent",
+]

@@ -12,6 +12,9 @@ instead of a hand-rolled loop:
   serial fallback);
 * :mod:`~repro.experiments.store` — :class:`ResultStore`, an append-only
   JSONL journal keyed by spec hash that makes campaigns resumable;
+* :mod:`~repro.experiments.manifest` — :class:`CampaignManifest`, the
+  ``<store>.manifest.json`` record of every campaign's expanded grid and
+  hashes (store auditing: orphan records, pending runs);
 * :mod:`~repro.experiments.aggregate` — per-cell means / spreads /
   confidence intervals across seed replicates, feeding ``repro.analysis``.
 
@@ -43,11 +46,19 @@ from repro.experiments.aggregate import (
     t_critical_95,
     varied_keys,
 )
+from repro.experiments.manifest import (
+    CampaignEntry,
+    CampaignManifest,
+    manifest_path,
+)
 from repro.experiments.runner import RunRecord, Runner, build_machine, execute_run
 from repro.experiments.spec import RunSpec, Sweep
 from repro.experiments.store import ResultStore
 
 __all__ = [
+    "CampaignEntry",
+    "CampaignManifest",
+    "manifest_path",
     "RunSpec",
     "Sweep",
     "RunRecord",

@@ -1,0 +1,187 @@
+"""Campaign manifests — what a result store *should* contain.
+
+A :class:`~repro.experiments.store.ResultStore` is an append-only journal
+of whatever was ever run against it; nothing in the JSONL itself records
+the campaign definitions that produced it.  The manifest closes that gap:
+``repro sweep`` writes ``<store>.manifest.json`` next to the store,
+recording every campaign's expanded grid (base spec, axes, seeds, machine
+shapes) and the exact spec/cell hashes it implies.  That makes the store
+auditable:
+
+* ``repro sweep --status`` reports records in the store that no recorded
+  campaign accounts for (orphans — prime garbage-collection candidates
+  for the ROADMAP's store-lifecycle item) and manifest runs not yet in
+  the store (pending work);
+* future compaction can safely drop any record whose hash no manifest
+  mentions.
+
+Campaigns are keyed by a content hash of (base, grid, seeds), so
+re-running the same sweep updates its entry in place instead of
+appending duplicates; different grids against the same store accumulate
+as separate entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.spec import Sweep
+
+MANIFEST_VERSION = 1
+
+
+def manifest_path(store_path: str) -> str:
+    """``<store>.manifest.json``, next to the JSONL store."""
+    return f"{store_path}.manifest.json"
+
+
+def _campaign_hash(base: Mapping[str, Any], grid: Mapping[str, Sequence[Any]],
+                   seeds: Sequence[int]) -> str:
+    blob = json.dumps(
+        {"base": dict(base), "grid": {k: list(v) for k, v in grid.items()},
+         "seeds": list(seeds)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CampaignEntry:
+    """One recorded sweep: its definition plus the hashes it expands to."""
+
+    campaign_hash: str
+    base: Dict[str, Any]                 # base RunSpec, canonical form
+    grid: Dict[str, List[Any]]
+    seeds: List[int]
+    shapes: List[str]                    # distinct "WxH" machine shapes
+    spec_hashes: List[str]
+    cell_hashes: List[str]
+
+    @classmethod
+    def from_sweep(cls, sweep: Sweep) -> "CampaignEntry":
+        specs = sweep.expand()
+        grid = {k: list(v) for k, v in sweep.grid.items()}
+        seeds = sweep.seed_list()
+        shapes = []
+        for spec in specs:
+            if spec.torus_width is not None:
+                shape = f"{spec.torus_width}x{spec.torus_height}"
+            else:
+                shape = "default"
+            if shape not in shapes:
+                shapes.append(shape)
+        cell_hashes: List[str] = []
+        for spec in specs:
+            if spec.cell_hash not in cell_hashes:
+                cell_hashes.append(spec.cell_hash)
+        base = sweep.base.canonical()
+        return cls(
+            campaign_hash=_campaign_hash(base, grid, seeds),
+            base=base,
+            grid=grid,
+            seeds=seeds,
+            shapes=shapes,
+            spec_hashes=[s.spec_hash for s in specs],
+            cell_hashes=cell_hashes,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign_hash": self.campaign_hash,
+            "base": self.base,
+            "grid": self.grid,
+            "seeds": self.seeds,
+            "shapes": self.shapes,
+            "spec_hashes": self.spec_hashes,
+            "cell_hashes": self.cell_hashes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignEntry":
+        return cls(
+            campaign_hash=str(data["campaign_hash"]),
+            base=dict(data["base"]),
+            grid={k: list(v) for k, v in data["grid"].items()},
+            seeds=list(data["seeds"]),
+            shapes=list(data.get("shapes", [])),
+            spec_hashes=list(data["spec_hashes"]),
+            cell_hashes=list(data.get("cell_hashes", [])),
+        )
+
+
+@dataclass
+class CampaignManifest:
+    """All campaigns recorded against one store."""
+
+    path: str
+    campaigns: List[CampaignEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, store_path: str) -> Optional["CampaignManifest"]:
+        """The manifest next to ``store_path`` (None if never written)."""
+        path = manifest_path(store_path)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return cls(
+            path=path,
+            campaigns=[CampaignEntry.from_dict(c)
+                       for c in data.get("campaigns", [])],
+        )
+
+    @classmethod
+    def record(cls, store_path: str, sweep: Sweep) -> "CampaignManifest":
+        """Merge ``sweep`` into the store's manifest and write it out."""
+        manifest = cls.load(store_path) or cls(path=manifest_path(store_path))
+        entry = CampaignEntry.from_sweep(sweep)
+        replaced = False
+        for i, existing in enumerate(manifest.campaigns):
+            if existing.campaign_hash == entry.campaign_hash:
+                manifest.campaigns[i] = entry
+                replaced = True
+                break
+        if not replaced:
+            manifest.campaigns.append(entry)
+        manifest.write()
+        return manifest
+
+    def write(self) -> None:
+        payload = {
+            "version": MANIFEST_VERSION,
+            "campaigns": [c.to_dict() for c in self.campaigns],
+        }
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    def spec_hashes(self) -> set:
+        """Union of every recorded campaign's run hashes."""
+        out = set()
+        for campaign in self.campaigns:
+            out.update(campaign.spec_hashes)
+        return out
+
+    def cell_hashes(self) -> set:
+        out = set()
+        for campaign in self.campaigns:
+            out.update(campaign.cell_hashes)
+        return out
+
+    def orphan_records(self, records: Sequence) -> List:
+        """Store records (``RunRecord``-shaped) no campaign accounts for."""
+        known = self.spec_hashes()
+        return [r for r in records if r.spec_hash not in known]
+
+    def missing_hashes(self, store) -> List[str]:
+        """Manifest runs with no record in the store yet (pending work)."""
+        return [h for h in sorted(self.spec_hashes()) if h not in store]

@@ -32,6 +32,11 @@ _METRIC_SUFFIXES = (
     "fwd_clb_stalls",
     "messages_lost",
     "stores_logged",
+    # Recovery-point lag: per-node (CCN - RPCN) summed at each broadcast
+    # application, plus the application count — their ratio is the mean
+    # validation lag in checkpoint intervals (detection-latency science).
+    "rpcn_lag_intervals",
+    "rpcn_updates",
 )
 
 

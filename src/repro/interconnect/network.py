@@ -8,15 +8,22 @@ killing a half-switch loses every message buffered in it plus anything that
 later arrives there (until the routing tables are recomputed around it).
 
 Hop scheduling is *slotted*: each hop is one kernel dispatch that performs
-leave + arrive + depart together, and hops completing on the same cycle
-share a single heap entry (see :meth:`Network._schedule_hop`).  The legacy
-two-events-per-hop scheme is retained behind ``slotted=False`` purely as
-the reference for the differential guard in
-``benchmarks/test_network_hotpath.py``.
+leave + arrive + depart together.  The legacy two-events-per-hop scheme is
+retained behind ``slotted=False`` purely as the reference for the
+differential guard in ``benchmarks/test_network_hotpath.py``.
+
+Hops deliberately do NOT share heap entries: batching same-cycle hop
+completions into one dispatch would run a later-scheduled hop at the
+earliest hop's heap position, reordering its processing (and any traffic
+its delivery injects) against non-hop events of the same cycle — an
+order-dependent tie that made slotted and legacy runs diverge once
+checkpoint-validation traffic became completion-triggered.  One event per
+hop keeps dispatch order identical to legacy by construction.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -30,18 +37,39 @@ DeliverFn = Callable[[Message], None]
 DropHook = Callable[[Message, Vertex], bool]
 LostFn = Callable[[Message, str], None]
 
+# Hot-path event labels, interned once per process: the hop label alone is
+# attached to the majority of all kernel events in a full-machine run
+# (ROADMAP "event-label allocation").
+LABEL_HOP = sys.intern("net.hop")
+LABEL_LEAVE = sys.intern("net.leave")
+LABEL_LOCAL = sys.intern("net.local_deliver")
+LABEL_RETRY = sys.intern("net.buffer_retry")
+
 
 class _Flight:
-    """Book-keeping for one in-flight message."""
+    """Book-keeping for one in-flight message.
 
-    __slots__ = ("msg", "path", "index", "dropped", "epoch")
+    The flight doubles as its own hop callback (``__call__``): the slotted
+    scheduler queues the flight object directly, avoiding a per-hop
+    closure allocation on the hottest scheduling path.  ``ser`` is the
+    link-serialisation time, computed once per message instead of once
+    per hop.
+    """
 
-    def __init__(self, msg: Message, path: List[Vertex], epoch: int) -> None:
+    __slots__ = ("msg", "path", "index", "dropped", "epoch", "net", "ser")
+
+    def __init__(self, msg: Message, path: List[Vertex], epoch: int,
+                 net: "Network", ser: int) -> None:
         self.msg = msg
         self.path = path
         self.index = 0          # vertex the message is currently at
         self.dropped = False
         self.epoch = epoch
+        self.net = net
+        self.ser = ser
+
+    def __call__(self) -> None:
+        self.net._arrive(self)
 
 
 class Network:
@@ -95,12 +123,27 @@ class Network:
         self._resident: Dict[Vertex, Set[int]] = defaultdict(set)
         # Slotted residency: msg_id -> cycle the buffer entry is released.
         self._resident_until: Dict[Vertex, Dict[int, int]] = defaultdict(dict)
-        # Slotted hop batches: arrival cycle -> flights completing a hop then.
-        self._slots: Dict[int, List[_Flight]] = {}
         self._in_flight: Dict[int, _Flight] = {}
         self._drop_hooks: List[DropHook] = []
         self._lost_listeners: List[LostFn] = []
         self._epoch = 0
+        # Live view of the topology's dead-switch set (per-hop check).
+        self._dead_switches = topology.live_dead_set()
+
+        # Pre-bound counters: send/deliver/lose run once per message (and
+        # contention accounting once per hop), so the per-call f-string
+        # construction + registry lookup was itself a measurable hot-path
+        # cost (guarded by the wall-clock floors in
+        # benchmarks/test_network_hotpath.py and
+        # benchmarks/test_validation_hotpath.py).
+        self.c_messages_sent = self.stats.counter(f"{name}.messages_sent")
+        self.c_bytes_sent = self.stats.counter(f"{name}.bytes_sent")
+        self.c_messages_delivered = self.stats.counter(
+            f"{name}.messages_delivered")
+        self.c_messages_lost = self.stats.counter(f"{name}.messages_lost")
+        self.c_contention_cycles = self.stats.counter(
+            f"{name}.contention_cycles")
+        self.c_buffer_stalls = self.stats.counter(f"{name}.buffer_stalls")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -128,20 +171,20 @@ class Network:
             # Local traffic counts toward both send counters: bandwidth
             # accounting (Fig. 7) sums bytes over *all* coherence traffic,
             # and a node's home slice legitimately serves its own cache.
-            self.stats.counter(f"{self._name}.messages_sent").add()
-            self.stats.counter(f"{self._name}.bytes_sent").add(msg.size_bytes)
+            self.c_messages_sent.add()
+            self.c_bytes_sent.add(msg.size_bytes)
             epoch = self._epoch
             self.sim.schedule_after(
                 1,
                 lambda m=msg: epoch == self._epoch and self._deliver(m),
-                "net.local_deliver",
+                LABEL_LOCAL,
             )
             return
         path = self.routing.path(msg.src, msg.dst)
-        flight = _Flight(msg, path, self._epoch)
+        flight = _Flight(msg, path, self._epoch, self, self._serialization(msg))
         self._in_flight[msg.msg_id] = flight
-        self.stats.counter(f"{self._name}.messages_sent").add()
-        self.stats.counter(f"{self._name}.bytes_sent").add(msg.size_bytes)
+        self.c_messages_sent.add()
+        self.c_bytes_sent.add(msg.size_bytes)
         self._depart(flight)
 
     @property
@@ -161,12 +204,12 @@ class Network:
         here = flight.path[flight.index]
         nxt = flight.path[flight.index + 1]
         link = (here, nxt)
-        ser = self._serialization(flight.msg)
+        ser = flight.ser
         start = max(self.sim.now, self._link_free.get(link, 0))
         self._link_free[link] = start + ser
         wait = start - self.sim.now
         if wait:
-            self.stats.counter(f"{self._name}.contention_cycles").add(wait)
+            self.c_contention_cycles.add(wait)
         switch_delay = self.switch_latency if here[0] == "sw" else 1
         arrive_at = start + ser + self.link_latency + switch_delay
         # The message occupies the current switch buffer until it is fully
@@ -177,45 +220,33 @@ class Network:
             self._schedule_hop(flight, arrive_at)
         else:
             self.sim.schedule(
-                arrive_at, lambda f=flight: self._arrive(f), "net.hop"
+                arrive_at, lambda f=flight: self._arrive(f), LABEL_HOP
             )
             if here[0] == "sw":
                 self.sim.schedule(
                     start + ser, lambda f=flight, v=here: self._leave(f, v),
-                    "net.leave"
+                    LABEL_LEAVE
                 )
 
     # -- slotted scheduling --------------------------------------------
     def _schedule_hop(self, flight: _Flight, when: int) -> None:
-        """Queue a hop completion; same-cycle hops share one kernel event."""
-        bucket = self._slots.get(when)
-        if bucket is None:
-            self._slots[when] = [flight]
-            self.sim.schedule(when, self._advance_slot, "net.hop")
-        else:
-            bucket.append(flight)
+        """Queue a hop completion: one kernel event doing the whole hop
+        (the legacy scheme pays a second ``net.leave`` event per hop),
+        with the flight itself as the callback (no closure allocation)."""
+        self.sim.schedule(when, flight, LABEL_HOP)
 
-    def _advance_slot(self) -> None:
-        """Dispatch every hop completing this cycle in one kernel event."""
-        bucket = self._slots.pop(self.sim.now, None)
-        if not bucket:
-            return
-        for flight in bucket:
-            if flight.dropped or flight.epoch != self._epoch:
-                continue
-            self._arrive(flight)
-
-    def _occupancy(self, vertex: Vertex) -> int:
-        """Live buffer entries at ``vertex`` (slotted mode), pruning
-        entries whose release time has passed."""
-        table = self._resident_until.get(vertex)
-        if not table:
-            return 0
+    def _at_capacity(self, table) -> bool:
+        """Whether a switch's buffer (slotted mode) is full of *live*
+        entries.  Pruning released entries only matters once the raw count
+        reaches capacity (pruning only shrinks it), so the common
+        uncontended arrival pays a ``len`` instead of a table scan."""
+        if len(table) < self.buffer_capacity:
+            return False
         now = self.sim.now
         released = [mid for mid, until in table.items() if until <= now]
         for mid in released:
             del table[mid]
-        return len(table)
+        return len(table) >= self.buffer_capacity
 
     # -- shared arrival logic ------------------------------------------
     def _leave(self, flight: _Flight, vertex: Vertex) -> None:
@@ -234,21 +265,23 @@ class Network:
         vertex = flight.path[flight.index]
         if vertex[0] == "sw":
             half: HalfSwitchId = vertex[1]
-            if self.topology.is_dead(half):
+            if half in self._dead_switches:
                 self._lose(flight, f"dead switch {half}")
                 return
             for hook in self._drop_hooks:
                 if hook(flight.msg, vertex):
                     self._lose(flight, f"fault injection at {half}")
                     return
-            occupancy = (self._occupancy(vertex) if self.slotted
-                         else len(self._resident[vertex]))
-            if occupancy >= self.buffer_capacity:
+            if self.slotted:
+                full = self._at_capacity(self._resident_until[vertex])
+            else:
+                full = len(self._resident[vertex]) >= self.buffer_capacity
+            if full:
                 # Backpressure: retry entering the switch shortly.
                 flight.index -= 1
-                self.stats.counter(f"{self._name}.buffer_stalls").add()
+                self.c_buffer_stalls.add()
                 self.sim.schedule_after(
-                    4, lambda f=flight: self._arrive_retry(f), "net.buffer_retry"
+                    4, lambda f=flight: self._arrive_retry(f), LABEL_RETRY
                 )
                 return
             if not self.slotted:
@@ -267,7 +300,7 @@ class Network:
         self._arrive(flight)
 
     def _deliver(self, msg: Message) -> None:
-        self.stats.counter(f"{self._name}.messages_delivered").add()
+        self.c_messages_delivered.add()
         # A misrouting fault sends the message to the wrong endpoint,
         # where the paper's illegal-message detection catches it.
         target = msg.payload.get("misrouted_to", msg.dst)
@@ -279,7 +312,7 @@ class Network:
     def _lose(self, flight: _Flight, reason: str) -> None:
         flight.dropped = True
         self._in_flight.pop(flight.msg.msg_id, None)
-        self.stats.counter(f"{self._name}.messages_lost").add()
+        self.c_messages_lost.add()
         for listener in self._lost_listeners:
             listener(flight.msg, reason)
 
@@ -315,9 +348,8 @@ class Network:
 
         All state related to in-progress transactions is unvalidated and
         logically after the recovery point, so it is simply thrown away.
-        Slot buckets are left in place: their already-scheduled kernel
-        events skip stale-epoch flights and continue to serve any
-        post-recovery hops that land on the same cycles.
+        Already-scheduled hop events are left in the queue: they skip
+        their stale-epoch flights when they fire.
         """
         count = len(self._in_flight)
         self._epoch += 1

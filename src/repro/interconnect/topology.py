@@ -27,6 +27,13 @@ class HalfSwitchId:
     def __post_init__(self) -> None:
         if self.plane not in ("ew", "ns"):
             raise ValueError(f"plane must be 'ew' or 'ns', got {self.plane!r}")
+        # Half-switch ids key the network's per-vertex dicts (link
+        # occupancy, buffer residency) on every hop, so the generated
+        # field-tuple hash was a measurable share of hop dispatch.
+        object.__setattr__(self, "_hash", hash((self.plane, self.x, self.y)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:
         return f"{self.plane}({self.x},{self.y})"
@@ -127,6 +134,12 @@ class TorusTopology:
 
     def is_dead(self, half: HalfSwitchId) -> bool:
         return half in self._dead
+
+    def live_dead_set(self) -> Set[HalfSwitchId]:
+        """The mutable dead-switch set itself (not a copy): the network
+        holds this reference so its per-hop liveness check is a plain set
+        membership test instead of a method call."""
+        return self._dead
 
     @property
     def dead_switches(self) -> Set[HalfSwitchId]:

@@ -60,6 +60,9 @@ class Core:
         self.ccn = 1
         self.rpcn = 1
         self.epoch = 0
+        # CheckpointParticipant readiness hook (set by the ValidationAgent;
+        # never fired: the core's outstanding work is the cache's MSHRs).
+        self.on_readiness_changed: Optional[Callable[[], None]] = None
 
         self.target: Optional[int] = None
         self.done = False
@@ -206,8 +209,13 @@ class Core:
             self.on_target_reached(self.node_id)
 
     # ------------------------------------------------------------------
-    # SafetyNet checkpoint lifecycle
+    # SafetyNet checkpoint lifecycle (CheckpointParticipant)
     # ------------------------------------------------------------------
+    def min_open_interval(self) -> Optional[int]:
+        """The core never holds a transaction open itself: a blocked miss
+        is an open MSHR at the cache, which reports it."""
+        return None
+
     def on_edge(self, new_ccn: int) -> None:
         """Checkpoint-clock edge: shadow-copy the registers (and position,
         our program counter equivalent), pay the checkpoint latency, and

@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.checkpoint import ServiceControllers
 from repro.config import SystemConfig
 from repro.core.clock import CheckpointClock
 from repro.core.recovery import RecoveryManager
-from repro.core.validation import ServiceControllers
 from repro.detection.checker import MessageChecker
 from repro.detection.codes import CRC16, ErrorCode
 from repro.detection.faults import CorruptMessageFault, MisrouteMessageFault

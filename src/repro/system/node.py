@@ -10,12 +10,12 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.checkpoint import ValidationAgent
 from repro.config import SystemConfig
 from repro.coherence.cache import CacheController
 from repro.coherence.directory import MemoryController
 from repro.core.clb import CheckpointLogBuffer
 from repro.core.commit import InputLog, OutputCommitBuffer
-from repro.core.validation import ValidationAgent
 from repro.interconnect.messages import Message, MessageKind
 from repro.interconnect.network import Network
 from repro.processor.core import Core
@@ -131,24 +131,23 @@ class Node:
             on_target_reached=on_target_reached,
             io_hooks=io_hooks,
         )
-        extra = [self.commit] if self.commit is not None else []
+        participants = [self.cache, self.home, self.core]
+        if self.commit is not None:
+            participants.append(self.commit)
         self.validation = ValidationAgent(
-            sim, node_id, config, network, self.cache, self.home, self.core,
+            sim, node_id, config, network, participants,
             edge_time=edge_time_of,
             controller_node=controller_node,
             detection_latency=detection_latency,
-            extra_components=extra,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
     def on_edge(self, new_ccn: int) -> None:
-        """Node-local checkpoint-clock edge: all components step their CCN,
-        the core shadow-copies registers, and we opportunistically check
-        validation readiness."""
-        self.cache.on_edge(new_ccn)
-        self.home.on_edge(new_ccn)
-        self.core.on_edge(new_ccn)
-        self.validation.announce_if_ready()
+        """Node-local checkpoint-clock edge: the validation agent steps
+        every participant's CCN (the core shadow-copies its registers) and
+        re-evaluates sign-off."""
+        self.validation.on_edge(new_ccn)
 
     def deliver(self, msg: Message) -> None:
         """Network-interface dispatch for everything addressed to us."""

@@ -1,0 +1,117 @@
+"""Campaign manifests: recording, merging, and store auditing."""
+
+import io
+import json
+import os
+
+from repro.cli import main
+from repro.experiments import (
+    CampaignEntry,
+    CampaignManifest,
+    ResultStore,
+    RunSpec,
+    Sweep,
+    manifest_path,
+)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def small_sweep(**base_changes) -> Sweep:
+    base = RunSpec(instructions=200, scale=64, preset="tiny",
+                   max_cycles=2_000_000).with_(**base_changes)
+    return Sweep(base=base, grid={"workload": ["apache", "jbb"]}, seeds=2)
+
+
+# ---------------------------------------------------------------------------
+# The manifest itself
+# ---------------------------------------------------------------------------
+def test_entry_records_grid_shapes_and_hashes():
+    sweep = Sweep(
+        base=RunSpec(instructions=200, scale=64),
+        grid={"torus": ["2x2", "4x8"], "workload": ["apache"]},
+        seeds=2,
+    )
+    entry = CampaignEntry.from_sweep(sweep)
+    specs = sweep.expand()
+    assert entry.spec_hashes == [s.spec_hash for s in specs]
+    assert len(entry.cell_hashes) == 2          # 2 shapes x 1 workload
+    assert entry.shapes == ["2x2", "4x8"]
+    assert entry.seeds == [1, 2]
+    assert entry.grid == {"torus": ["2x2", "4x8"], "workload": ["apache"]}
+    # Round-trips through its JSON form.
+    assert CampaignEntry.from_dict(entry.to_dict()) == entry
+
+
+def test_record_merges_by_campaign_identity(tmp_path):
+    store = str(tmp_path / "r.jsonl")
+    sweep = small_sweep()
+    CampaignManifest.record(store, sweep)
+    CampaignManifest.record(store, sweep)       # same campaign: no duplicate
+    manifest = CampaignManifest.load(store)
+    assert manifest is not None
+    assert os.path.exists(manifest_path(store))
+    assert len(manifest.campaigns) == 1
+    other = small_sweep(instructions=400)
+    CampaignManifest.record(store, other)       # different campaign: appended
+    manifest = CampaignManifest.load(store)
+    assert len(manifest.campaigns) == 2
+    assert manifest.spec_hashes() >= {s.spec_hash for s in sweep.expand()}
+
+
+def test_orphans_and_pending_against_a_store(tmp_path):
+    store_path = str(tmp_path / "r.jsonl")
+    sweep = small_sweep()
+    manifest = CampaignManifest.record(store_path, sweep)
+    store = ResultStore(store_path)
+    # Nothing ran yet: every manifest run is pending, nothing is orphaned.
+    assert len(manifest.missing_hashes(store)) == len(sweep.expand())
+    assert manifest.orphan_records(store.records()) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+def test_sweep_writes_manifest_and_status_audits_it(tmp_path):
+    store = str(tmp_path / "campaign.jsonl")
+    args = ["sweep", "--grid", "workload=apache", "--seeds", "1",
+            "--instructions", "200", "--scale", "64", "--torus", "2x2",
+            "--out", store]
+    code, _ = run_cli(args)
+    assert code == 0
+    data = json.loads(open(manifest_path(store)).read())
+    assert data["version"] == 1
+    assert len(data["campaigns"]) == 1
+    assert data["campaigns"][0]["shapes"] == ["2x2"]
+
+    code, text = run_cli(["sweep", "--status", "--out", store])
+    assert code == 0
+    assert "manifest" in text
+    assert "0 pending" in text
+    assert ("unmanifested runs  | 0" in text.replace("  ", "  ")
+            or "unmanifested runs" in text)
+
+    # A record from a campaign that was never manifested shows up as such:
+    # simulate by appending a foreign run to the store directly.
+    from repro.experiments import execute_run
+    foreign = RunSpec(instructions=150, scale=64, preset="tiny",
+                      max_cycles=2_000_000)
+    record = execute_run(foreign)
+    ResultStore(store).append(record)
+    code, text = run_cli(["sweep", "--status", "--out", store])
+    assert code == 0
+    assert "unmanifested runs" in text
+    line = [l for l in text.splitlines() if "unmanifested runs" in l][0]
+    assert "1" in line
+
+
+def test_status_without_manifest_says_absent(tmp_path):
+    store = str(tmp_path / "bare.jsonl")
+    ResultStore(store)  # empty store, no manifest
+    code, text = run_cli(["sweep", "--status", "--out", store])
+    assert code == 0
+    assert "absent" in text
