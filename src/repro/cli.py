@@ -10,7 +10,9 @@ Usage (installed as ``python -m repro`` or the ``repro`` console script):
     python -m repro sweep --grid torus=2x2,4x4,4x8 --grid workload=apache,jbb \\
         --seeds 3 --out shapes.jsonl              # machine-shape campaign
     python -m repro sweep --status --out results.jsonl   # campaign progress
+    python -m repro sweep --gc --out results.jsonl       # drop unmanifested
     python -m repro run --workload oltp --torus 4x8      # one 32-node run
+    python -m repro profile --workload jbb    # where do dispatches/time go?
     python -m repro character                 # Table 3 workload summary
     python -m repro config [--paper]          # Table 2 parameters
 
@@ -117,6 +119,32 @@ def build_parser() -> argparse.ArgumentParser:
                                 "lost_instructions",
                                 "committed_instructions"],
                        help="metric summarised in the final table")
+
+    sweep.add_argument("--gc", action="store_true",
+                       help="compact the --out store: drop records no "
+                            "manifest campaign accounts for (reports what "
+                            "was dropped; runs nothing)")
+
+    prof = sub.add_parser(
+        "profile",
+        help="profile one run (kernel event histogram + cProfile)",
+        description="Run one experiment under the profiling harness: a "
+                    "per-event-label dispatch/exclusive-time histogram "
+                    "from the kernel, plus (by default) cProfile function "
+                    "hot spots.  Prints tables; --json emits the full "
+                    "report for tooling.")
+    add_experiment_args(prof, instructions=8_000, warmup=0, period=60_000)
+    prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument("--legacy", action="store_true",
+                      help="profile the legacy hot paths "
+                           "(lazy_timeouts=False, burst_fast_path=False) "
+                           "for before/after comparison")
+    prof.add_argument("--top", type=int, default=12,
+                      help="rows per table (labels and functions)")
+    prof.add_argument("--no-cprofile", action="store_true",
+                      help="skip cProfile (≈2x faster; label histogram only)")
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="write the full report as JSON ('-' = stdout)")
 
     sub.add_parser("character", help="print Table 3 workload character")
 
@@ -306,7 +334,50 @@ def cmd_sweep_status(args, out) -> int:
     return 0
 
 
+def cmd_sweep_gc(args, out) -> int:
+    """Store garbage collection: drop records no manifest accounts for.
+
+    A store accumulates records from every campaign ever pointed at it;
+    once a campaign's definition is retired (its manifest entry gone or
+    rewritten), its records are dead weight.  ``--gc`` keeps exactly the
+    union of every recorded campaign's spec hashes and compacts the JSONL
+    in place (atomically), reporting what it dropped.
+    """
+    if not args.out:
+        print("sweep --gc needs --out (the campaign's JSONL store)", file=out)
+        return 1
+    store = ResultStore(args.out)
+    manifest = CampaignManifest.load(args.out)
+    if manifest is None or not manifest.campaigns:
+        # Without a manifest *everything* is unaccounted for; refusing is
+        # the only safe reading (run a sweep with --out first).
+        print(f"no manifest next to {args.out}; refusing to GC — every "
+              "record would be dropped.  Run a sweep with --out to record "
+              "its campaign first.", file=out)
+        return 1
+    before = len(store)
+    torn = store.malformed_lines
+    dropped = store.compact(manifest.spec_hashes())
+    rows = [
+        ("store", args.out),
+        ("manifest campaigns", len(manifest.campaigns)),
+        ("records kept", before - len(dropped)),
+        ("records dropped", len(dropped)),
+        ("torn/malformed lines purged", torn),
+    ]
+    print(format_table(["field", "value"], rows, title="store GC"), file=out)
+    for record in dropped[:20]:
+        spec = record.spec
+        print(f"  dropped {record.spec_hash}: {spec.workload} "
+              f"seed={spec.seed} fault={spec.fault}", file=out)
+    if len(dropped) > 20:
+        print(f"  ... and {len(dropped) - 20} more", file=out)
+    return 0
+
+
 def cmd_sweep(args, out) -> int:
+    if args.gc:
+        return cmd_sweep_gc(args, out)
     if args.status:
         return cmd_sweep_status(args, out)
     grid = _parse_grid(args.grid)
@@ -340,6 +411,63 @@ def cmd_sweep(args, out) -> int:
         print(f"{unexpected} protected runs crashed", file=out)
         return 1
     return 0
+
+
+def cmd_profile(args, out) -> int:
+    """Run one spec under the profiling harness and print/emit the report.
+
+    This is the measurement behind the hot-path PRs: the event-label
+    histogram says which *subsystem* burns dispatches (e.g. the ~7% of
+    dead ``cache.timeout`` events that motivated the deadline tables),
+    cProfile says which *functions* burn wall-clock inside them.
+    """
+    from repro.sim.profile import profile_spec
+
+    spec = _spec_from_args(args)
+    if args.legacy:
+        spec = spec.with_(config_overrides=(
+            ("lazy_timeouts", False), ("burst_fast_path", False)))
+    try:
+        report = profile_spec(spec, use_cprofile=not args.no_cprofile,
+                              top_functions=args.top)
+    except ValueError as exc:
+        print(f"bad run: {exc}", file=out)
+        return 1
+
+    mode = "legacy paths" if args.legacy else "current paths"
+    label_rows = [
+        (r["label"], f"{r['dispatches']:,}", f"{r['dispatch_frac']:6.1%}",
+         f"{r['seconds']:.3f}", f"{r['seconds_frac']:6.1%}")
+        for r in report.dispatch.rows(args.top)
+    ]
+    print(format_table(
+        ["event label", "dispatches", "disp %", "excl s", "time %"],
+        label_rows,
+        title=f"kernel dispatch profile ({mode}: "
+              f"{report.events_dispatched:,} events, "
+              f"{report.wall_seconds:.2f}s wall)"), file=out)
+    if report.functions:
+        fn_rows = [
+            (f["function"], f"{f['calls']:,}", f"{f['exclusive_s']:.3f}",
+             f"{f['cumulative_s']:.3f}")
+            for f in report.functions
+        ]
+        print(format_table(
+            ["function", "calls", "excl s", "cum s"], fn_rows,
+            title="cProfile hot functions"), file=out)
+    summary = (f"cycles={report.cycles:,} committed="
+               f"{report.committed_instructions:,} "
+               f"recoveries={report.recoveries} completed={report.completed}")
+    print(summary, file=out)
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload, file=out)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.json}", file=out)
+    return 0 if not report.crashed else 1
 
 
 def cmd_character(args, out) -> int:
@@ -378,6 +506,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "sweep":
         return cmd_sweep(args, out)
+    if args.command == "profile":
+        return cmd_profile(args, out)
     if args.command == "character":
         return cmd_character(args, out)
     return cmd_config(args, out)

@@ -26,6 +26,7 @@ from repro.coherence.state import CacheBlock, CacheState, ProtocolError
 from repro.core.clb import CheckpointLogBuffer
 from repro.interconnect.messages import Message, MessageKind
 from repro.interconnect.network import Network
+from repro.sim.deadlines import DeadlineTable
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 
@@ -120,8 +121,21 @@ class CacheController:
         self._num_sets = max(1, config.cache_sets)
         self._assoc = config.l2_assoc
         self._block_bits = config.block_size.bit_length() - 1
+        # Set-index mask for the (overwhelmingly common) power-of-two set
+        # count; None falls back to the modulo in _set_index.  The burst
+        # fast path (processor/core.py) reads these directly.
+        self._set_mask: Optional[int] = (
+            self._num_sets - 1
+            if self._num_sets & (self._num_sets - 1) == 0 else None
+        )
         self._sets: Dict[int, Dict[int, CacheBlock]] = {}
         self._lru_tick = 0
+        # One sweep event instead of one heap event per request timeout
+        # (config.lazy_timeouts; see repro.sim.deadlines).
+        self._timeout_table: Optional[DeadlineTable] = (
+            DeadlineTable(sim, "cache.timeout_sweep")
+            if config.lazy_timeouts else None
+        )
 
         self.mshrs: Dict[int, Mshr] = {}
         self.wb_buffer: Dict[int, CacheBlock] = {}
@@ -150,6 +164,8 @@ class CacheController:
     # Cache array helpers
     # ------------------------------------------------------------------
     def _set_index(self, addr: int) -> int:
+        if self._set_mask is not None:
+            return (addr >> self._block_bits) & self._set_mask
         return (addr >> self._block_bits) % self._num_sets
 
     def _set_of(self, addr: int) -> Dict[int, CacheBlock]:
@@ -242,6 +258,20 @@ class CacheController:
             return ("hit", status[1])
         return ("miss", 0)
 
+    def _store_hit_logged(self, block: CacheBlock, value: int) -> Tuple[str, int]:
+        """The burst fast path's slow case: a store hit that must log.
+
+        Delegates to :meth:`_apply_store` (one copy of the logging rule;
+        this path is rare, so nothing is deferred) and maps its result to
+        ``fast_access``'s return shape.  The common no-log store hit is
+        inlined in ``Core._burst`` instead.
+        """
+        status, extra = self._apply_store(block, value)
+        if status == "clb_full":
+            self.c_store_throttles.add()
+            return ("throttle", self.config.store_throttle_delay)
+        return ("hit", extra)
+
     def load_value(self, addr: int) -> Optional[int]:
         block = self.lookup(addr)
         return block.data if block is not None else None
@@ -276,11 +306,27 @@ class CacheController:
         mshr.started_at = self.sim.now
         epoch = self.epoch
         issue = mshr.started_at
+        if self._timeout_table is not None:
+            # Lazy path: a dict store, re-keyed per transaction; a re-issue
+            # (NACK retry) replaces the deadline in place.  The deadline
+            # cycle is identical to the event the legacy path schedules.
+            self._timeout_table.arm(
+                mshr.txn_id,
+                issue + self.config.request_timeout,
+                lambda: self._check_timeout(mshr, issue, epoch),
+            )
+            return
         self.sim.schedule_after(
             self.config.request_timeout,
             lambda: self._check_timeout(mshr, issue, epoch),
             "cache.timeout",
         )
+
+    def _disarm_timeout(self, mshr: Mshr) -> None:
+        """Completion, lazy mode: drop the deadline (legacy-mode events
+        stay queued and no-op through the staleness checks instead)."""
+        if self._timeout_table is not None:
+            self._timeout_table.cancel(mshr.txn_id)
 
     def _check_timeout(self, mshr: Mshr, issue_cycle: int, epoch: int) -> None:
         if epoch != self.epoch:
@@ -468,6 +514,7 @@ class CacheController:
         self._finish_txn(mshr)
 
     def _finish_txn(self, mshr: Mshr) -> None:
+        self._disarm_timeout(mshr)
         final_cn = mshr.data_cn if mshr.grant == "M" else None
         self.network.send(
             Message(MessageKind.FINAL_ACK, src=self.node_id,
@@ -563,6 +610,7 @@ class CacheController:
             if mshr is not None:
                 self.wb_txns[msg.addr] = mshr
             return
+        self._disarm_timeout(mshr)
         self.wb_buffer.pop(msg.addr, None)
         self._transaction_closed(mshr.start_interval)
 
@@ -617,6 +665,8 @@ class CacheController:
         self.wb_txns.clear()
         self.wb_buffer.clear()
         self._stalled_fwds.clear()
+        if self._timeout_table is not None:
+            self._timeout_table.clear()
         unrolled = 0
         for entry in self.clb.unroll_from(rpcn):
             state, data, cn = entry.payload

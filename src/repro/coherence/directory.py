@@ -21,6 +21,7 @@ from repro.coherence.state import DirEntry, MEMORY_OWNER, ProtocolError
 from repro.core.clb import CheckpointLogBuffer, LogEntry
 from repro.interconnect.messages import Message, MessageKind
 from repro.interconnect.network import Network
+from repro.sim.deadlines import DeadlineTable
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 
@@ -50,6 +51,7 @@ class MemoryController:
         network: Network,
         clb: CheckpointLogBuffer,
         stats: StatsRegistry,
+        on_fault: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -57,6 +59,7 @@ class MemoryController:
         self.network = network
         self.clb = clb
         self.stats = stats
+        self.on_fault = on_fault
 
         self.ccn = 1
         self.rpcn = 1
@@ -69,6 +72,15 @@ class MemoryController:
         self.directory: Dict[int, DirEntry] = {}
         self.busy: Dict[int, _BusyTxn] = {}
         self.queues: Dict[int, Deque[Message]] = {}
+        # Optional detection hardening (config.home_request_timeout): an
+        # open transaction that outlives the bound is reported as a fault
+        # instead of waiting for the recovery-point watchdog.  Same
+        # deadline-table machinery as the requestor-side cache timeouts.
+        self._timeout_table: Optional[DeadlineTable] = (
+            DeadlineTable(sim, "home.timeout_sweep")
+            if (config.home_request_timeout and on_fault is not None)
+            else None
+        )
 
         ns = f"node{node_id}.home"
         self.c_requests = stats.counter(f"{ns}.requests")
@@ -79,6 +91,7 @@ class MemoryController:
         self.c_stale_writebacks = stats.counter(f"{ns}.stale_writebacks")
         self.c_nacks_sent = stats.counter(f"{ns}.nacks_sent")
         self.c_retags = stats.counter(f"{ns}.retags")
+        self.c_timeouts = stats.counter(f"{ns}.timeouts")
 
     # ------------------------------------------------------------------
     # State helpers
@@ -161,6 +174,27 @@ class MemoryController:
         else:
             self._process_putm(msg)
 
+    def _open_txn(self, addr: int, txn: _BusyTxn) -> None:
+        """Open the per-block serialisation window (and, when the home
+        timeout is configured, arm its detection deadline)."""
+        self.busy[addr] = txn
+        if self._timeout_table is not None:
+            epoch = self.epoch
+            self._timeout_table.arm(
+                addr,
+                self.sim.now + self.config.home_request_timeout,
+                lambda: self._check_timeout(addr, txn, epoch),
+            )
+
+    def _check_timeout(self, addr: int, txn: _BusyTxn, epoch: int) -> None:
+        if epoch != self.epoch or self.busy.get(addr) is not txn:
+            return  # closed (or the machine recovered) since arming
+        self.c_timeouts.add()
+        self.on_fault(
+            f"node{self.node_id} home timeout: {txn.kind.name} {addr:#x} "
+            f"txn={txn.txn_id} open since interval {txn.start_interval}"
+        )
+
     def _pop_queue(self, addr: int) -> None:
         queue = self.queues.get(addr)
         if queue:
@@ -176,7 +210,7 @@ class MemoryController:
         addr, requestor = msg.addr, msg.src
         entry = self.dir_entry(addr)
         txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
-        self.busy[addr] = txn
+        self._open_txn(addr, txn)
         if entry.owner is MEMORY_OWNER:
             entry.sharers.add(requestor)
             epoch = self.epoch
@@ -228,7 +262,7 @@ class MemoryController:
                             addr=addr, txn_id=msg.txn_id)
                 )
                 return
-            self.busy[addr] = txn
+            self._open_txn(addr, txn)
             if self.config.safetynet_enabled:
                 self._log_home(addr, self.ccn)
                 out_cn = self.ccn + 1
@@ -259,7 +293,7 @@ class MemoryController:
                             addr=addr, txn_id=msg.txn_id)
                 )
                 return
-            self.busy[addr] = txn
+            self._open_txn(addr, txn)
             owner = entry.owner
             provisional_tag = self.ccn
             known_cn = self.block_cn.get(addr)
@@ -288,7 +322,7 @@ class MemoryController:
         the sharers; no data and no ownership transfer (hence no log)."""
         addr, requestor = msg.addr, msg.src
         txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
-        self.busy[addr] = txn
+        self._open_txn(addr, txn)
         invalidatees = entry.sharers - {requestor}
         entry.sharers = set()
         self._send_invs(addr, invalidatees, requestor, msg.txn_id)
@@ -368,6 +402,8 @@ class MemoryController:
             self.block_cn[msg.addr] = max(current, msg.cn)
         start_interval = txn.start_interval
         del self.busy[msg.addr]
+        if self._timeout_table is not None:
+            self._timeout_table.cancel(msg.addr)
         self._pop_queue(msg.addr)
         # A transaction serialised in an earlier interval closed; it may
         # have been the last thing blocking sign-off of that checkpoint.
@@ -401,6 +437,8 @@ class MemoryController:
         self.epoch += 1
         self.busy.clear()
         self.queues.clear()
+        if self._timeout_table is not None:
+            self._timeout_table.clear()
         unrolled = 0
         for entry in self.clb.unroll_from(rpcn):
             value, owner, sharers, cn = entry.payload

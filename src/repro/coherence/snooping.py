@@ -24,6 +24,7 @@ from repro.coherence.state import CacheBlock, CacheState, ProtocolError
 from repro.core.clb import CheckpointLogBuffer
 from repro.interconnect.messages import Message, MessageKind
 from repro.interconnect.ordered import OrderedBus
+from repro.sim.deadlines import DeadlineTable
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 
@@ -50,6 +51,8 @@ class SnoopingCache:
         stats: StatsRegistry,
         *,
         requests_per_checkpoint: int = 64,
+        request_timeout: Optional[int] = None,
+        on_fault: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -57,6 +60,14 @@ class SnoopingCache:
         self.clb = clb
         self.stats = stats
         self.k = requests_per_checkpoint
+        self.request_timeout = request_timeout
+        self.on_fault = on_fault
+        # Same lazy-deadline machinery as the directory variant's caches:
+        # one sweep event per controller instead of one event per request.
+        self._timeout_table: Optional[DeadlineTable] = (
+            DeadlineTable(sim, "snoop.timeout_sweep")
+            if (request_timeout and on_fault is not None) else None
+        )
         self.ccn = 1                    # derived from observed request count
         self.rpcn = 1
         self.blocks: Dict[int, CacheBlock] = {}
@@ -69,6 +80,7 @@ class SnoopingCache:
         ns = f"snoop{node_id}"
         self.c_transfers_logged = stats.counter(f"{ns}.transfers_logged")
         self.c_stores_logged = stats.counter(f"{ns}.stores_logged")
+        self.c_timeouts = stats.counter(f"{ns}.timeouts")
 
     # ------------------------------------------------------------------
     # SafetyNet primitives (same rules as the directory variant)
@@ -109,6 +121,23 @@ class SnoopingCache:
                       txn_id=next(_txn_ids))
         order_index = self.bus.broadcast(msg)
         self.pending[addr] = (msg, value, done, interval_of(order_index, self.k))
+        if self._timeout_table is not None:
+            txn_id = msg.txn_id
+            self._timeout_table.arm(
+                addr,
+                self.sim.now + self.request_timeout,
+                lambda: self._check_timeout(addr, txn_id),
+            )
+
+    def _check_timeout(self, addr: int, txn_id: int) -> None:
+        entry = self.pending.get(addr)
+        if entry is None or entry[0].txn_id != txn_id:
+            return  # answered (or recovery discarded it) since arming
+        self.c_timeouts.add()
+        self.on_fault(
+            f"snoop{self.node_id} request timeout: {entry[0].kind.name} "
+            f"{addr:#x} txn={txn_id}"
+        )
 
     # ------------------------------------------------------------------
     # Bus side: every component sees every request, in the same order
@@ -155,6 +184,8 @@ class SnoopingCache:
         entry = self.pending.pop(msg.addr, None)
         if entry is None or entry[0].txn_id != msg.txn_id:
             return
+        if self._timeout_table is not None:
+            self._timeout_table.cancel(msg.addr)
         request, value, done, _issue_interval = entry
         state = CacheState.MODIFIED if msg.grant == "M" else CacheState.SHARED
         cn = msg.cn if (msg.cn is None or msg.cn > self.rpcn) else None
@@ -197,6 +228,8 @@ class SnoopingCache:
 
     def recover_to(self, rpcn: int) -> int:
         self.pending.clear()
+        if self._timeout_table is not None:
+            self._timeout_table.clear()
         unrolled = 0
         for entry in self.clb.unroll_from(rpcn):
             state, data, cn = entry.payload
@@ -308,7 +341,8 @@ class SnoopingSystem:
     """A small SafetyNet-protected snooping multiprocessor (footnote 1)."""
 
     def __init__(self, num_caches: int = 4, *, requests_per_checkpoint: int = 64,
-                 clb_entries: int = 4096) -> None:
+                 clb_entries: int = 4096, request_timeout: Optional[int] = None,
+                 on_fault: Optional[Callable[[str], None]] = None) -> None:
         self.sim = Simulator()
         self.stats = StatsRegistry()
         self.bus = OrderedBus(self.sim, stats=self.stats)
@@ -318,6 +352,7 @@ class SnoopingSystem:
                 self.sim, i, self.bus,
                 CheckpointLogBuffer(clb_entries, name=f"snoop{i}.clb"),
                 self.stats, requests_per_checkpoint=requests_per_checkpoint,
+                request_timeout=request_timeout, on_fault=on_fault,
             )
             for i in range(num_caches)
         ]

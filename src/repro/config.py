@@ -76,6 +76,28 @@ class SystemConfig:
 
     # -- fault handling ------------------------------------------------------
     request_timeout: int = 20_000           # cycles before a requestor times out
+    #: Lazy timeout arming (default): requestor timeouts live in a
+    #: per-controller :class:`~repro.sim.deadlines.DeadlineTable` swept by
+    #: one re-arming kernel event instead of one heap event per request.
+    #: Detection deadlines are unchanged (same ``request_timeout`` cycle);
+    #: only the kernel event count drops.  False keeps the historical
+    #: event-per-request path as the bit-identity oracle (see
+    #: benchmarks/test_cpu_hotpath.py, same pattern as
+    #: ``event_driven_validation``).
+    lazy_timeouts: bool = True
+    #: Burst-local CPU fast path (default): ``Core._burst`` inlines the
+    #: cache hit path (precomputed set masks, counter deltas accumulated
+    #: in burst locals and flushed once per burst exit).  False keeps the
+    #: per-op ``fast_access`` calls — arithmetically identical, retained
+    #: as the differential-benchmark baseline.
+    burst_fast_path: bool = True
+    #: Optional home-side open-transaction timeout (cycles).  None (the
+    #: default) preserves the historical behaviour: an orphaned home
+    #: transaction is caught only by the requestor's timeout or the
+    #: recovery-point watchdog.  When set, each home arms a deadline per
+    #: open transaction (via the same deadline table) and reports a fault
+    #: if it outlives the bound.
+    home_request_timeout: Optional[int] = None
     watchdog_timeout: int = 1_000_000       # recovery-point stall watchdog
     service_broadcast_latency: int = 200    # out-of-band controller channel
     recovery_fixed_latency: int = 2_000     # drain + restore orchestration cost

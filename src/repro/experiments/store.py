@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.experiments.runner import RunRecord
 
@@ -75,6 +75,33 @@ class ResultStore:
         return list(self._records.values())
 
     # ------------------------------------------------------------------
+    def compact(self, keep_hashes: Iterable[str]) -> List[RunRecord]:
+        """Rewrite the store keeping only ``keep_hashes``; returns dropped.
+
+        The garbage-collection half of the store lifecycle (``repro sweep
+        --gc``): records whose spec hash is absent from ``keep_hashes``
+        (normally the union of every manifest campaign's hashes) are
+        dropped, as are duplicate lines (newest-per-hash already wins on
+        load) and malformed/torn lines.  The rewrite is atomic — a crash
+        mid-compaction leaves the original file intact.
+        """
+        keep = set(keep_hashes)
+        kept = [r for h, r in self._records.items() if h in keep]
+        dropped = [r for h, r in self._records.items() if h not in keep]
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in kept:
+                fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._records = {r.spec_hash: r for r in kept}
+        self._malformed = 0
+        self._needs_newline = False
+        return dropped
+
     def append(self, record: RunRecord) -> None:
         """Persist one record durably (append + flush + fsync)."""
         self._records[record.spec_hash] = record

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.coherence.cache import CacheController
+from repro.coherence.state import CacheState
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 
@@ -63,6 +64,17 @@ class Core:
         # CheckpointParticipant readiness hook (set by the ValidationAgent;
         # never fired: the core's outstanding work is the cache's MSHRs).
         self.on_readiness_changed: Optional[Callable[[], None]] = None
+
+        # Burst-local fast path (config.burst_fast_path): the burst loop
+        # inlines the cache hit path and defers counter updates to burst
+        # exit.  I/O hooks observe every retirement individually, and stub
+        # caches (unit tests) lack the inlined internals, so both keep the
+        # per-op reference loop.
+        self._fast_path = (
+            config.burst_fast_path
+            and io_hooks is None
+            and isinstance(cache, CacheController)
+        )
 
         self.target: Optional[int] = None
         self.done = False
@@ -111,6 +123,18 @@ class Core:
             delay, self._stall_credit = self._stall_credit, 0
             self._schedule_burst(delay)
             return
+        if self._fast_path:
+            self._burst_fast()
+        else:
+            self._burst_slow()
+
+    def _burst_slow(self) -> None:
+        """The reference burst loop: one ``fast_access`` call per op.
+
+        Arithmetically identical to :meth:`_burst_fast` (the differential
+        guard in benchmarks/test_cpu_hotpath.py holds the two together);
+        also the only loop that drives per-retire I/O hooks.
+        """
         t = self.sim.now
         edge = self.next_edge_time()
         for _ in range(BURST_QUANTUM):
@@ -138,27 +162,136 @@ class Core:
                 self._schedule_burst((t_issue - self.sim.now) + extra)
                 return
             else:  # miss
-                self._miss_outstanding = True
-                issue_delay = t_issue - self.sim.now
-                value = self._store_value() if is_store else None
-                core_epoch = self.epoch
-                self.sim.schedule_after(
-                    issue_delay,
-                    lambda a=addr, s=is_store, v=value: self._issue_miss(
-                        a, s, v, core_epoch
-                    ),
-                    "core.issue_miss",
-                )
+                self._start_miss_event(addr, is_store, gap, t_issue)
                 return
         # Quantum exhausted: yield to other events, resume at time t.
         self._schedule_burst(max(0, t - self.sim.now))
 
+    def _burst_fast(self) -> None:
+        """The burst loop with the cache hit path inlined.
+
+        Everything hot is a burst local: the workload op stream, the
+        cache's set dictionaries and index mask, the register file, and
+        the position/counter deltas — flushed back in one step at every
+        burst exit, so between kernel events all externally visible state
+        (position, counters, bandwidth meters) is exactly what the
+        reference loop would have produced.
+        """
+        sim = self.sim
+        t = sim.now
+        edge = self.next_edge_time()
+        cache = self.cache
+        sets = cache._sets
+        block_bits = cache._block_bits
+        set_mask = cache._set_mask
+        num_sets = cache._num_sets
+        ccn = cache.ccn                      # stable within one event
+        logging_on = cache.config.safetynet_enabled
+        modified = CacheState.MODIFIED
+        op = self.workload.op
+        nid = self.node_id
+        store_tag = (nid + 1) << 44          # _store_value's node component
+        registers = self.registers
+        target = self.target
+        position = self.position
+        lru = cache._lru_tick
+        loads = 0
+        stores = 0
+        executed = 0
+
+        def flush() -> None:
+            self.position = position
+            cache._lru_tick = lru
+            if executed:
+                self.c_executed.add(executed)
+            if loads:
+                cache.c_loads.add(loads)
+            if stores:
+                cache.c_stores.add(stores)
+            if loads or stores:
+                cache.bw.add("hits", (loads + stores) * cache.config.block_size)
+
+        for _ in range(BURST_QUANTUM):
+            if position >= target:
+                flush()
+                self._schedule_finish(t)
+                return
+            gap, is_store, addr = op(nid, position)
+            t_issue = t + gap + 1
+            if t_issue > edge:
+                flush()
+                self._schedule_burst(edge - sim.now)
+                return
+            if set_mask is not None:
+                bucket = sets.get((addr >> block_bits) & set_mask)
+            else:
+                bucket = sets.get((addr >> block_bits) % num_sets)
+            block = bucket.get(addr) if bucket is not None else None
+            if block is not None:
+                lru += 1
+                block.lru = lru
+                if not is_store:
+                    # Load hit: retire inline (the block in hand is what
+                    # _retire's load_value() would re-find).
+                    loads += 1
+                    registers[(addr >> 6) & 7] ^= block.data + 1
+                    position += gap + 1
+                    executed += gap + 1
+                    t = t_issue
+                    continue
+                if block.state == modified:
+                    value = store_tag ^ position
+                    if not (logging_on
+                            and (block.cn is None or ccn >= block.cn)):
+                        # Store hit, already logged this interval.
+                        block.data = value
+                        stores += 1
+                        registers[position & 7] ^= value
+                        position += gap + 1
+                        executed += gap + 1
+                        t = t_issue
+                        continue
+                    status, extra = cache._store_hit_logged(block, value)
+                    if status == "hit":
+                        registers[position & 7] ^= value
+                        position += gap + 1
+                        executed += gap + 1
+                        t = t_issue + extra
+                        continue
+                    # CLB full: the paper's CPU-throttling backpressure.
+                    flush()
+                    self.c_store_stall_cycles.add(extra)
+                    self._schedule_burst((t_issue - sim.now) + extra)
+                    return
+            # Miss (including stores to O/S blocks, which need upgrades).
+            flush()
+            self._start_miss_event(addr, is_store, gap, t_issue)
+            return
+        # Quantum exhausted: yield to other events, resume at time t.
+        flush()
+        self._schedule_burst(max(0, t - sim.now))
+
+    def _start_miss_event(self, addr: int, is_store: bool, gap: int,
+                          t_issue: int) -> None:
+        self._miss_outstanding = True
+        issue_delay = t_issue - self.sim.now
+        value = self._store_value() if is_store else None
+        core_epoch = self.epoch
+        self.sim.schedule_after(
+            issue_delay,
+            lambda a=addr, s=is_store, v=value, g=gap: self._issue_miss(
+                a, s, v, g, core_epoch
+            ),
+            "core.issue_miss",
+        )
+
     def _issue_miss(self, addr: int, is_store: bool, value: Optional[int],
-                    epoch: int) -> None:
+                    gap: int, epoch: int) -> None:
         if epoch != self.epoch or self.frozen:
             self._miss_outstanding = False
             return
-        gap, _, _ = self.workload.op(self.node_id, self.position)
+        # ``gap`` is threaded through from the burst loop: recomputing
+        # workload.op here just to recover it would hash the op twice.
         self.cache.start_miss(
             addr, is_store, value,
             lambda g=gap, s=is_store, a=addr: self._miss_done(g, s, a, epoch),

@@ -5,13 +5,19 @@ deterministic order.  Everything above it (network, coherence, SafetyNet)
 schedules work through :class:`~repro.sim.kernel.Simulator`.
 """
 
+from repro.sim.deadlines import DeadlineTable
 from repro.sim.kernel import Event, Simulator
+from repro.sim.profile import DispatchProfile, ProfileReport, profile_spec
 from repro.sim.rng import DeterministicRng, spawn_streams
 from repro.sim.stats import BandwidthMeter, Counter, Histogram, StatsRegistry
 
 __all__ = [
     "Event",
     "Simulator",
+    "DeadlineTable",
+    "DispatchProfile",
+    "ProfileReport",
+    "profile_spec",
     "DeterministicRng",
     "spawn_streams",
     "BandwidthMeter",

@@ -9,6 +9,7 @@ that every run with the same seeds is bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 
@@ -67,6 +68,13 @@ class Simulator:
         self._events_dispatched: int = 0
         self._stopped: bool = False
         self._stop_reason: Optional[str] = None
+        #: Optional dispatch profiler: any object with a
+        #: ``record(label, seconds)`` method (see
+        #: :class:`repro.sim.profile.DispatchProfile`).  When set,
+        #: :meth:`run` times every callback and attributes its exclusive
+        #: wall-clock to the event's label.  None (the default) keeps the
+        #: run loop untouched — tracing costs nothing unless asked for.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -114,6 +122,8 @@ class Simulator:
 
         Returns the cycle at which the run loop stopped.
         """
+        if self.tracer is not None:
+            return self._run_traced(limit, max_events)
         self._stopped = False
         self._stop_reason = None
         dispatched_here = 0
@@ -136,7 +146,49 @@ class Simulator:
             if max_events is not None and dispatched_here >= max_events:
                 self._stop_reason = "max_events"
                 break
-        if limit is not None and not self._queue and self.now < limit:
+        # Queue drained before the limit: fast-forward the clock ("nothing
+        # can happen until then").  NOT when stop() fired — a stopped run
+        # halts at the current cycle, whether or not later events remained
+        # (lazy timeouts legitimately leave the queue empty at the stop).
+        if (limit is not None and not self._queue and not self._stopped
+                and self.now < limit):
+            self.now = limit
+        return self.now
+
+    def _run_traced(self, limit: Optional[int], max_events: Optional[int]) -> int:
+        """The :meth:`run` loop with per-dispatch label timing.
+
+        A separate loop so the common (untraced) path pays nothing; kept
+        line-for-line parallel with :meth:`run` — same stop conditions,
+        same cancelled-event handling, same return value.
+        """
+        record = self.tracer.record
+        self._stopped = False
+        self._stop_reason = None
+        dispatched_here = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue and not self._stopped:
+            when = queue[0][0]
+            if limit is not None and when > limit:
+                self.now = limit
+                break
+            event = heappop(queue)[2]
+            if event.cancelled:
+                continue
+            if when < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = when
+            started = perf_counter()
+            event.callback()
+            record(event.label, perf_counter() - started)
+            self._events_dispatched += 1
+            dispatched_here += 1
+            if max_events is not None and dispatched_here >= max_events:
+                self._stop_reason = "max_events"
+                break
+        if (limit is not None and not self._queue and not self._stopped
+                and self.now < limit):
             self.now = limit
         return self.now
 

@@ -1,0 +1,192 @@
+"""Profiling harness: where do the kernel's dispatches and the wall-clock go?
+
+Two complementary views of one run:
+
+* **Kernel event-label histogram** — the simulator attaches a
+  :class:`DispatchProfile` as the :class:`~repro.sim.kernel.Simulator`
+  tracer, so every dispatched event contributes (count, exclusive wall
+  seconds) to its label (``core.burst``, ``net.hop``, ``cache.timeout``,
+  ...).  This is the view that found the dead-timeout problem: on a busy
+  pre-overhaul run ``cache.timeout`` was ~7% of all dispatches without
+  ever doing anything (see ISSUE/ROADMAP; the deadline tables in
+  :mod:`repro.sim.deadlines` collapse it to <1%).
+* **cProfile** — function-level hot spots, for the costs the event view
+  cannot see (the burst loop's inline work, the workload hash).
+
+``repro profile`` (the CLI entry; see :func:`repro.cli.cmd_profile`) runs
+one :class:`~repro.experiments.spec.RunSpec` under both and emits a table
+and/or JSON.  Future PRs should start here when hunting the next hot
+path; the guarded-benchmark inventory in the README records where the
+previous ones went.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+#: Labels the kernel dispatches with no label string attached.
+UNLABELLED = "(unlabelled)"
+
+
+class DispatchProfile:
+    """Per-label dispatch counts and exclusive wall-clock seconds.
+
+    Plug into a simulator with ``sim.tracer = DispatchProfile()``; the
+    kernel calls :meth:`record` once per dispatched event.  "Exclusive"
+    is from the event-loop's point of view: each callback's whole run is
+    attributed to the label of the event that triggered it.
+    """
+
+    __slots__ = ("counts", "seconds")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def record(self, label: str, seconds: float) -> None:
+        label = label or UNLABELLED
+        counts = self.counts
+        counts[label] = counts.get(label, 0) + 1
+        secs = self.seconds
+        secs[label] = secs.get(label, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def total_dispatches(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def dispatch_fraction(self, label: str) -> float:
+        """``label``'s share of all dispatched events (0.0 if none)."""
+        total = self.total_dispatches
+        return self.counts.get(label, 0) / total if total else 0.0
+
+    def rows(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Per-label summary rows, heaviest exclusive time first."""
+        total_n = self.total_dispatches or 1
+        total_s = self.total_seconds or 1.0
+        rows = [
+            {
+                "label": label,
+                "dispatches": self.counts[label],
+                "dispatch_frac": self.counts[label] / total_n,
+                "seconds": self.seconds[label],
+                "seconds_frac": self.seconds[label] / total_s,
+            }
+            for label in self.counts
+        ]
+        rows.sort(key=lambda r: (-r["seconds"], r["label"]))
+        return rows[:top] if top is not None else rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_dispatches": self.total_dispatches,
+            "total_seconds": self.total_seconds,
+            "labels": self.rows(),
+        }
+
+
+def _function_name(code) -> str:
+    """A compact ``file:line(func)`` name for a cProfile entry."""
+    if isinstance(code, str):
+        return code  # builtin, e.g. "<built-in method ...>"
+    filename = "/".join(code.co_filename.split("/")[-2:])
+    return f"{filename}:{code.co_firstlineno}({code.co_name})"
+
+
+def hot_functions(prof: cProfile.Profile, top: int = 15) -> List[Dict[str, Any]]:
+    """The profiler's heaviest functions by exclusive (self) time."""
+    entries = []
+    for entry in prof.getstats():
+        entries.append({
+            "function": _function_name(entry.code),
+            "calls": entry.callcount,
+            "exclusive_s": entry.inlinetime,
+            "cumulative_s": entry.totaltime,
+        })
+    entries.sort(key=lambda e: (-e["exclusive_s"], e["function"]))
+    return entries[:top]
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run produced (JSON-safe via to_dict)."""
+
+    spec: Dict[str, Any]              # RunSpec.canonical()
+    wall_seconds: float
+    cycles: int
+    committed_instructions: int
+    completed: bool
+    crashed: bool
+    recoveries: int
+    events_dispatched: int
+    dispatch: DispatchProfile
+    functions: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "wall_seconds": self.wall_seconds,
+            "result": {
+                "cycles": self.cycles,
+                "committed_instructions": self.committed_instructions,
+                "completed": self.completed,
+                "crashed": self.crashed,
+                "recoveries": self.recoveries,
+            },
+            "events_dispatched": self.events_dispatched,
+            "kernel_events": self.dispatch.to_dict(),
+            "hot_functions": self.functions,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def profile_spec(spec, *, use_cprofile: bool = True,
+                 top_functions: int = 15) -> ProfileReport:
+    """Build the machine ``spec`` describes and run it under the profilers.
+
+    The event-label histogram is always collected; cProfile is optional
+    (it costs roughly 2x wall-clock).  Warmup, faults, shapes, and config
+    overrides all come from the spec, exactly as ``repro run`` / the
+    campaign engine would execute it.
+    """
+    # Imported lazily: the sim layer must not depend on the experiment
+    # layer at import time (profile is the one place the two meet).
+    from repro.experiments.runner import build_machine
+
+    machine = build_machine(spec)
+    dispatch = DispatchProfile()
+    machine.sim.tracer = dispatch
+    prof = cProfile.Profile() if use_cprofile else None
+    started = perf_counter()
+    if prof is not None:
+        prof.enable()
+    if spec.warmup > 0:
+        result = machine.run_with_warmup(spec.warmup, spec.instructions,
+                                         max_cycles=spec.max_cycles)
+    else:
+        result = machine.run(spec.instructions, max_cycles=spec.max_cycles)
+    if prof is not None:
+        prof.disable()
+    wall = perf_counter() - started
+    return ProfileReport(
+        spec=spec.canonical(),
+        wall_seconds=wall,
+        cycles=result.cycles,
+        committed_instructions=result.committed_instructions,
+        completed=result.completed,
+        crashed=result.crashed,
+        recoveries=result.recoveries,
+        events_dispatched=machine.sim.events_dispatched,
+        dispatch=dispatch,
+        functions=hot_functions(prof, top_functions) if prof is not None else [],
+    )

@@ -116,7 +116,8 @@ class Node:
             sim, node_id, config, network, self.cache_clb, stats, home_of, on_fault
         )
         self.home = MemoryController(
-            sim, node_id, config, network, self.home_clb, stats
+            sim, node_id, config, network, self.home_clb, stats,
+            on_fault=on_fault,
         )
         self.commit: Optional[OutputCommitBuffer] = None
         self.input_log: Optional[InputLog] = None

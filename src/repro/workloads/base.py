@@ -162,28 +162,70 @@ class SyntheticWorkload:
         self._t_hot = int(s.hot_frac * 65536)
         self._t_alloc = int(s.alloc_frac * 65536)
         self._t_update_store = int(s.update_store_frac * 65536)
+        # Last-op memo, one slot per CPU.  The burst loop legitimately
+        # re-asks for the same (cpu, index): a burst that stops at a
+        # checkpoint edge or a CLB throttle recomputes the op it could not
+        # issue when it resumes.  One slot is enough — the re-ask is
+        # always for the op that was just computed — and keeps the
+        # splitmix64 double-mix off those resume paths.
+        self._memo_index = [-1] * num_cpus
+        self._memo_op: list = [None] * num_cpus
 
     # ------------------------------------------------------------------
     def _block_to_addr(self, block: int) -> int:
         return block << self.BLOCK_SHIFT
 
     def op(self, cpu: int, index: int) -> MemOp:
+        # This is the per-instruction hot path of the whole simulator (one
+        # call per retired memory op): the splitmix64 double-mix is inlined
+        # rather than calling mix64 twice, and the dominant private-region
+        # branch is flattened from _private_op (which stays below as the
+        # readable reference; tests/test_deadlines_and_profile.py holds the
+        # two together).  Same math, same stream.
+        if self._memo_index[cpu] == index:
+            return self._memo_op[cpu]
         s = self.spec
-        h = mix64(self.seed ^ ((cpu << 40) + index))
+        x = (self.seed ^ ((cpu << 40) + index)) + _GOLDEN & _M64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+        h = x ^ (x >> 31)
         gap = (h & 0xFF) % self._gap_mod
         r_store = (h >> 8) & 0xFFFF
         r_region = (h >> 24) & 0xFFFF
         r_addr = (h >> 40) & 0xFFFFFF
-        h2 = mix64(h)
+        x = (h + _GOLDEN) & _M64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+        h2 = x ^ (x >> 31)
         r_hot = h2 & 0xFFFF
         r_addr2 = (h2 >> 16) & 0xFFFFFFFF
 
         if s.phase_len and ((index // s.phase_len) & 1):
-            return self._update_phase_op(cpu, index, gap, r_store, r_addr, r_addr2)
-
-        if r_region < self._t_shared:
-            return self._shared_op(cpu, index, gap, r_store, r_hot, r_addr, r_addr2)
-        return self._private_op(cpu, index, gap, r_store, r_hot, r_addr, r_addr2)
+            out = self._update_phase_op(cpu, index, gap, r_store, r_addr, r_addr2)
+        elif r_region < self._t_shared:
+            out = self._shared_op(cpu, index, gap, r_store, r_hot, r_addr, r_addr2)
+        else:
+            # Private region (flattened _private_op: the common case).
+            base = self._priv_base + cpu * self._priv_stride
+            if r_store < self._t_store:
+                if self._t_alloc and (r_addr & 0xFFFF) < self._t_alloc:
+                    block = base + self._alloc_off + (
+                        (index // s.alloc_advance_every) % s.alloc_region_blocks
+                    )
+                elif r_hot < self._t_hot:
+                    block = base + r_addr2 % s.store_hot_blocks
+                else:
+                    block = base + r_addr2 % s.private_blocks
+                out = MemOp(gap, True, block << self.BLOCK_SHIFT)
+            else:
+                if r_hot < self._t_hot:
+                    block = base + r_addr2 % s.private_hot_blocks
+                else:
+                    block = base + r_addr2 % s.private_blocks
+                out = MemOp(gap, False, block << self.BLOCK_SHIFT)
+        self._memo_index[cpu] = index
+        self._memo_op[cpu] = out
+        return out
 
     # ------------------------------------------------------------------
     def _shared_op(self, cpu: int, index: int, gap: int, r_store: int,

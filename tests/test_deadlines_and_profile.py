@@ -1,0 +1,284 @@
+"""Unit tests for the PR-4 hot-path subsystems:
+
+* :class:`repro.sim.deadlines.DeadlineTable` — many timeouts, one event;
+* the kernel dispatch tracer + :mod:`repro.sim.profile` harness;
+* :class:`repro.sim.stats.Histogram` running aggregates / lazy caches;
+* the optional home-side and snooping request timeouts.
+"""
+
+import json
+
+from repro.config import SystemConfig
+from repro.interconnect.messages import Message, MessageKind
+from repro.sim.deadlines import DeadlineTable
+from repro.sim.kernel import Simulator
+from repro.sim.profile import DispatchProfile, profile_spec
+from repro.sim.stats import Histogram, StatsRegistry
+from tests.conftest import tiny_machine
+
+
+# ----------------------------------------------------------------------
+# DeadlineTable
+# ----------------------------------------------------------------------
+def test_deadline_fires_at_exact_cycle():
+    sim = Simulator()
+    fired = []
+    table = DeadlineTable(sim, "t")
+    table.arm("a", 100, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [100]
+    assert len(table) == 0
+
+
+def test_cancel_prevents_firing_and_sweep_disarms():
+    sim = Simulator()
+    fired = []
+    table = DeadlineTable(sim, "t")
+    table.arm("a", 50, lambda: fired.append("a"))
+    table.arm("b", 80, lambda: fired.append("b"))
+    assert table.cancel("a")
+    assert not table.cancel("a")          # idempotent
+    sim.run()
+    # The stale sweep at 50 finds nothing expired and re-arms for 80.
+    assert fired == ["b"]
+    assert sim.now == 80
+
+
+def test_one_sweep_event_for_many_armed_deadlines():
+    """N armed-and-cancelled deadlines must cost ~1 dispatch, not N."""
+    sim = Simulator()
+    table = DeadlineTable(sim, "t")
+    for i in range(500):
+        table.arm(i, 1_000 + i, lambda: None)
+        table.cancel(i)
+    sim.run()
+    # One live sweep event (at the first minimum) is all the heap saw.
+    assert sim.events_dispatched == 1
+
+
+def test_rearm_replaces_deadline():
+    sim = Simulator()
+    fired = []
+    table = DeadlineTable(sim, "t")
+    table.arm("a", 60, lambda: fired.append(("old", sim.now)))
+    table.arm("a", 90, lambda: fired.append(("new", sim.now)))
+    sim.run()
+    assert fired == [("new", 90)]
+
+
+def test_same_cycle_deadlines_fire_in_arm_order():
+    sim = Simulator()
+    fired = []
+    table = DeadlineTable(sim, "t")
+    for key in ("x", "y", "z"):
+        table.arm(key, 40, lambda k=key: fired.append(k))
+    sim.run()
+    assert fired == ["x", "y", "z"]
+
+
+def test_callback_may_arm_followup_deadline():
+    sim = Simulator()
+    fired = []
+    table = DeadlineTable(sim, "t")
+
+    def first():
+        fired.append(("first", sim.now))
+        table.arm("second", sim.now + 25, lambda: fired.append(("second", sim.now)))
+
+    table.arm("first", 10, first)
+    sim.run()
+    assert fired == [("first", 10), ("second", 35)]
+
+
+def test_clear_drops_everything():
+    sim = Simulator()
+    fired = []
+    table = DeadlineTable(sim, "t")
+    table.arm("a", 30, lambda: fired.append("a"))
+    table.clear()
+    assert table.next_deadline() is None
+    sim.run()
+    assert fired == []
+
+
+# ----------------------------------------------------------------------
+# Dispatch tracer + profile harness
+# ----------------------------------------------------------------------
+def test_tracer_counts_every_dispatch_by_label():
+    sim = Simulator()
+    profile = DispatchProfile()
+    sim.tracer = profile
+    for i in range(5):
+        sim.schedule(10 + i, lambda: None, "tick")
+    sim.schedule(20, lambda: None, "other")
+    cancelled = sim.schedule(30, lambda: None, "never")
+    cancelled.cancel()
+    sim.run()
+    assert profile.counts == {"tick": 5, "other": 1}
+    assert profile.total_dispatches == sim.events_dispatched == 6
+    assert abs(profile.dispatch_fraction("tick") - 5 / 6) < 1e-12
+    rows = profile.rows()
+    assert {r["label"] for r in rows} == {"tick", "other"}
+    assert abs(sum(r["dispatch_frac"] for r in rows) - 1.0) < 1e-12
+
+
+def test_traced_run_matches_untraced_run():
+    def build():
+        sim = Simulator()
+        out = []
+
+        def ping(i):
+            out.append((sim.now, i))
+            if i < 20:
+                sim.schedule_after(3, lambda: ping(i + 1), "ping")
+
+        sim.schedule(1, lambda: ping(0), "ping")
+        return sim, out
+
+    sim_a, out_a = build()
+    sim_a.run()
+    sim_b, out_b = build()
+    sim_b.tracer = DispatchProfile()
+    sim_b.run()
+    assert out_a == out_b
+    assert sim_a.now == sim_b.now
+    assert sim_b.tracer.total_dispatches == sim_b.events_dispatched
+
+
+def test_profile_spec_reports_labels_and_json():
+    from repro.experiments import RunSpec
+
+    spec = RunSpec(workload="apache", instructions=400, preset="tiny",
+                   scale=64, max_cycles=2_000_000)
+    report = profile_spec(spec, use_cprofile=True, top_functions=5)
+    assert report.completed and not report.crashed
+    assert report.dispatch.total_dispatches == report.events_dispatched > 0
+    assert "core.burst" in report.dispatch.counts
+    assert report.functions and len(report.functions) <= 5
+    payload = json.loads(report.to_json())
+    assert payload["result"]["completed"] is True
+    assert payload["kernel_events"]["total_dispatches"] == report.events_dispatched
+
+
+# ----------------------------------------------------------------------
+# Flattened SyntheticWorkload.op vs the readable reference helpers
+# ----------------------------------------------------------------------
+def test_flattened_op_matches_reference_helpers():
+    """``op()`` inlines the splitmix64 double-mix and the private-region
+    helper for speed; this is the differential oracle that holds the
+    flattened code to the reference implementation it shadows."""
+    from repro.workloads import by_name
+    from repro.workloads.base import mix64
+
+    def reference_op(wl, cpu, index):
+        s = wl.spec
+        h = mix64(wl.seed ^ ((cpu << 40) + index))
+        gap = (h & 0xFF) % wl._gap_mod
+        r_store = (h >> 8) & 0xFFFF
+        r_region = (h >> 24) & 0xFFFF
+        r_addr = (h >> 40) & 0xFFFFFF
+        h2 = mix64(h)
+        r_hot = h2 & 0xFFFF
+        r_addr2 = (h2 >> 16) & 0xFFFFFFFF
+        if s.phase_len and ((index // s.phase_len) & 1):
+            return wl._update_phase_op(cpu, index, gap, r_store, r_addr, r_addr2)
+        if r_region < wl._t_shared:
+            return wl._shared_op(cpu, index, gap, r_store, r_hot, r_addr, r_addr2)
+        return wl._private_op(cpu, index, gap, r_store, r_hot, r_addr, r_addr2)
+
+    # barnes exercises the phase branch; jbb the allocation-streaming
+    # store branch; apache the plain shared/private mix.
+    for name in ("apache", "jbb", "barnes"):
+        wl = by_name(name, num_cpus=4, scale=32, seed=7)
+        for cpu in range(4):
+            for index in range(1_500):
+                assert wl.op(cpu, index) == reference_op(wl, cpu, index), (
+                    name, cpu, index)
+
+
+# ----------------------------------------------------------------------
+# Histogram running aggregates
+# ----------------------------------------------------------------------
+def test_histogram_running_aggregates_match_samples():
+    h = Histogram("h")
+    samples = [5, 1, 9, 3, 3, 12, -2]
+    for s in samples:
+        h.record(s)
+    assert h.count == len(samples)
+    assert h.total == sum(samples)
+    assert h.mean == sum(samples) / len(samples)
+    assert h.minimum == min(samples)
+    assert h.maximum == max(samples)
+    assert h.percentile(0) == min(samples)
+    assert h.percentile(100) == max(samples)
+    first = h.stddev()
+    assert first == h.stddev()            # cached value is stable
+    h.record(100)                          # invalidates the caches
+    assert h.maximum == 100
+    assert h.percentile(100) == 100
+    assert h.stddev() != first
+    h.reset()
+    assert (h.count, h.total, h.mean, h.minimum, h.maximum) == (0, 0, 0.0, 0.0, 0.0)
+    assert h.stddev() == 0.0 and h.percentile(50) == 0.0
+
+
+def test_histogram_registry_snapshot_unchanged():
+    reg = StatsRegistry()
+    h = reg.histogram("lat")
+    for v in (2, 4, 6):
+        h.record(v)
+    snap = reg.snapshot()
+    assert snap["lat.mean"] == 4.0
+    assert snap["lat.count"] == 3
+
+
+# ----------------------------------------------------------------------
+# Optional home-side timeout (detection hardening)
+# ----------------------------------------------------------------------
+def test_orphaned_home_transaction_detected_by_home_timeout():
+    """A GETM whose requestor never answers (no FINAL_ACK) leaves the
+    home's busy window open; with home_request_timeout set, the home —
+    not the distant watchdog — reports the fault."""
+    machine = tiny_machine(home_request_timeout=3_000)
+    addr = 0x40                           # block 1 -> home node 1
+    assert machine.home_of(addr) == 1
+    # A forged request: node 2's cache has no MSHR for it, so the DATA
+    # response is dropped on the floor and the transaction never closes.
+    machine.network.send(Message(MessageKind.GETM, src=2, dst=1,
+                                 addr=addr, txn_id=999_999))
+    machine.sim.run(limit=60_000)
+    assert machine.stats.counter("node1.home.timeouts").value == 1
+    assert machine.recovery.stats.recoveries >= 1
+    assert not machine.nodes[1].home.busy
+
+
+def test_snooping_request_timeout_fires_when_unanswered():
+    from repro.coherence.snooping import SnoopingCache
+    from repro.core.clb import CheckpointLogBuffer
+
+    class DeafBus:
+        """A bus that serialises requests but never delivers data."""
+
+        def __init__(self):
+            self.order = 0
+
+        def subscribe(self, fn):
+            pass
+
+        def attach_data(self, node_id, fn):
+            pass
+
+        def broadcast(self, msg):
+            index, self.order = self.order, self.order + 1
+            return index
+
+    sim = Simulator()
+    faults = []
+    cache = SnoopingCache(
+        sim, 0, DeafBus(), CheckpointLogBuffer(64, name="clb"),
+        StatsRegistry(), request_timeout=500, on_fault=faults.append,
+    )
+    cache.load(0x80, lambda _v: None)
+    sim.run(limit=2_000)
+    assert len(faults) == 1 and "timeout" in faults[0]
+    assert cache.c_timeouts.value == 1

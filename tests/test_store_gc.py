@@ -1,0 +1,99 @@
+"""Sweep-store garbage collection (``repro sweep --gc``).
+
+Closes the ROADMAP "store lifecycle" item: the manifest records what each
+campaign *should* contain; GC compacts the JSONL store down to exactly
+the union of manifested runs, atomically, and reports what it dropped.
+"""
+
+import io
+import os
+
+from repro.cli import main
+from repro.experiments import (
+    CampaignManifest,
+    ResultStore,
+    RunSpec,
+    Sweep,
+    execute_run,
+)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _spec(**changes) -> RunSpec:
+    return RunSpec(instructions=150, scale=64, preset="tiny",
+                   max_cycles=2_000_000).with_(**changes)
+
+
+def test_compact_drops_only_unlisted_hashes(tmp_path):
+    path = str(tmp_path / "r.jsonl")
+    store = ResultStore(path)
+    keep = execute_run(_spec(seed=1))
+    drop = execute_run(_spec(seed=2))
+    store.append(keep)
+    store.append(drop)
+    dropped = store.compact([keep.spec_hash])
+    assert [r.spec_hash for r in dropped] == [drop.spec_hash]
+    assert len(store) == 1 and keep.spec_hash in store
+    # The rewrite is durable: a fresh load sees the compacted contents.
+    reloaded = ResultStore(path)
+    assert reloaded.completed_hashes() == [keep.spec_hash]
+    assert reloaded.malformed_lines == 0
+
+
+def test_compact_purges_torn_lines(tmp_path):
+    path = str(tmp_path / "r.jsonl")
+    store = ResultStore(path)
+    record = execute_run(_spec(seed=1))
+    store.append(record)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"torn": ')           # interrupted write, no newline
+    store = ResultStore(path)
+    assert store.malformed_lines == 1
+    store.compact([record.spec_hash])
+    reloaded = ResultStore(path)
+    assert reloaded.malformed_lines == 0
+    assert len(reloaded) == 1
+
+
+def test_gc_cli_drops_unmanifested_records(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    sweep = Sweep(base=_spec(), grid={"workload": ["apache"]}, seeds=1)
+    CampaignManifest.record(path, sweep)
+    store = ResultStore(path)
+    manifested = execute_run(sweep.expand()[0])
+    orphan = execute_run(_spec(workload="jbb", seed=7))
+    store.append(manifested)
+    store.append(orphan)
+
+    code, text = run_cli(["sweep", "--gc", "--out", path])
+    assert code == 0
+    assert "records dropped" in text and orphan.spec_hash in text
+    reloaded = ResultStore(path)
+    assert reloaded.completed_hashes() == [manifested.spec_hash]
+
+    # Idempotent: a second GC drops nothing.
+    code, text = run_cli(["sweep", "--gc", "--out", path])
+    assert code == 0
+    assert len(ResultStore(path)) == 1
+
+
+def test_gc_refuses_without_manifest(tmp_path):
+    path = str(tmp_path / "bare.jsonl")
+    store = ResultStore(path)
+    record = execute_run(_spec(seed=1))
+    store.append(record)
+    code, text = run_cli(["sweep", "--gc", "--out", path])
+    assert code == 1
+    assert "refusing" in text
+    # Nothing was touched.
+    assert len(ResultStore(path)) == 1
+
+
+def test_gc_needs_out(tmp_path):
+    code, text = run_cli(["sweep", "--gc"])
+    assert code == 1 and "--out" in text
