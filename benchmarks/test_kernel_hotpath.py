@@ -12,7 +12,10 @@ machine (~1M events/s) so that CI noise never trips it while a real
 hot-path regression still does.
 """
 
+from time import perf_counter
+
 from repro.sim.kernel import Simulator
+from repro.sim.profile import DispatchProfile
 
 from benchmarks.conftest import smoke_mode
 
@@ -58,6 +61,38 @@ def test_event_loop_throughput(benchmark):
     assert rate > MIN_EVENTS_PER_SECOND, (
         f"event loop regressed to {rate:,.0f} events/s "
         f"(floor {MIN_EVENTS_PER_SECOND:,})"
+    )
+
+
+def test_no_tracer_pays_no_dispatch_overhead():
+    """The tracer-off floor: with ``sim.tracer`` left None, the dispatch
+    loop must not be slower than the traced loop (which times every
+    callback) beyond measurement noise.  This is what keeps observability
+    opt-in — a change that folds per-event tracing work into the common
+    path (e.g. collapsing the dual run loops, or hoisting a tracer check
+    into the pop) shows up here as the untraced time approaching the
+    traced one."""
+    events = EVENTS // 2
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(5):
+        # Interleaved so machine-speed drift cannot bias the ratio.
+        for traced in (False, True):
+            sim = _self_scheduling_chain(events)
+            if traced:
+                sim.tracer = DispatchProfile()
+            started = perf_counter()
+            sim.run()
+            elapsed = perf_counter() - started
+            assert sim.events_dispatched == events
+            best[traced] = min(best[traced], elapsed)
+    print(f"\nuntraced {events / best[False]:,.0f} events/s vs "
+          f"traced {events / best[True]:,.0f} events/s")
+    # The traced loop does strictly more work (two clock reads and a
+    # histogram update per dispatch), so 10% slack is generous: the
+    # untraced path regressing to traced cost trips this long before.
+    assert best[False] <= best[True] * 1.10, (
+        f"tracer-off dispatch path lost its advantage: untraced "
+        f"{best[False]:.4f}s vs traced {best[True]:.4f}s for {events:,} events"
     )
 
 

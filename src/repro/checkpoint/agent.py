@@ -105,6 +105,9 @@ class ValidationAgent:
         self._announce_pending = False
         self._resync_armed = False
         self._detect_armed_for = 0
+        #: Optional :class:`repro.obs.trace.TraceLog` (wired by
+        #: ``Machine.attach_tracer``); None keeps the lifecycle untraced.
+        self.trace = None
         for participant in self.participants:
             participant.on_readiness_changed = self._on_readiness_changed
         stats = stats or StatsRegistry()
@@ -219,6 +222,10 @@ class ValidationAgent:
         self._announced = k
         self._last_send = self.sim.now
         self.c_announces.add()
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "validate.announce", self.node_id,
+                       k=k, rpcn=self.rpcn)
         self.network.send(
             Message(MessageKind.VALIDATE_READY, src=self.node_id,
                     dst=self.controller_node, ack_count=k)
@@ -282,6 +289,10 @@ class ValidationAgent:
         lag = min(p.ccn for p in self.participants) - rpcn
         if lag > 0:
             self.c_lag.add(lag)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "rpcn.apply", self.node_id,
+                       rpcn=rpcn, lag=lag)
         self.rpcn = rpcn
         for participant in self.participants:
             participant.on_rpcn(rpcn)

@@ -50,6 +50,9 @@ class ServiceControllers:
         self._ready_counts: Dict[int, int] = {1: num_nodes}
         self._min_ready = 1
         self.last_advance_cycle = 0
+        #: Optional :class:`repro.obs.trace.TraceLog` (wired by
+        #: ``Machine.attach_tracer``).
+        self.trace = None
         self.c_advances = stats.counter("controllers.rpcn_advances")
         self.c_broadcasts = stats.counter("controllers.broadcasts")
 
@@ -63,6 +66,10 @@ class ServiceControllers:
         if old is None or k <= old:
             return  # unknown node or duplicate/stale sign-off: min unchanged
         self.ready[node] = k
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "validate.signoff", node,
+                       k=k, previous=old)
         counts = self._ready_counts
         counts[k] = counts.get(k, 0) + 1
         remaining = counts[old] - 1
@@ -83,9 +90,14 @@ class ServiceControllers:
 
     def _maybe_advance(self) -> None:
         if self._min_ready > self.rpcn:
+            previous = self.rpcn
             self.rpcn = self._min_ready
             self.last_advance_cycle = self.sim.now
             self.c_advances.add()
+            trace = self.trace
+            if trace is not None:
+                trace.emit(self.sim.now, "rpcn.advance",
+                           rpcn=self.rpcn, previous=previous)
             self._broadcast(self.rpcn)
 
     def _broadcast(self, rpcn: int) -> None:

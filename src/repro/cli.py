@@ -13,6 +13,8 @@ Usage (installed as ``python -m repro`` or the ``repro`` console script):
     python -m repro sweep --gc --out results.jsonl       # drop unmanifested
     python -m repro run --workload oltp --torus 4x8      # one 32-node run
     python -m repro profile --workload jbb    # where do dispatches/time go?
+    python -m repro trace --fault transient --out trace.json \\
+        --series series.csv                   # what happened, cycle by cycle?
     python -m repro character                 # Table 3 workload summary
     python -m repro config [--paper]          # Table 2 parameters
 
@@ -40,6 +42,7 @@ from repro.experiments import (
     RunSpec,
     Sweep,
     aggregate,
+    aggregate_telemetry,
     build_machine,
     summary_rows,
     varied_keys,
@@ -145,6 +148,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip cProfile (≈2x faster; label histogram only)")
     prof.add_argument("--json", default=None, metavar="PATH",
                       help="write the full report as JSON ('-' = stdout)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with structured tracing (Chrome trace, "
+             "time series, availability timeline)",
+        description="Run one experiment with the repro.obs tracer attached "
+                    "and export what happened: --out writes Chrome-trace "
+                    "JSON (open in Perfetto / chrome://tracing), --series "
+                    "samples occupancy counters on a fixed cadence "
+                    "(CSV or JSON by extension), and the availability "
+                    "timeline summarises checkpoint validation and "
+                    "recovery spans per epoch.")
+    add_experiment_args(trace, instructions=8_000, warmup=0, period=60_000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write Chrome-trace JSON ('-' = stdout)")
+    trace.add_argument("--series", default=None, metavar="PATH",
+                       help="write the sampled time series ('-' = stdout "
+                            "CSV; .json extension selects JSON)")
+    trace.add_argument("--cadence", type=int, default=None,
+                       help="cycles between samples (default: the "
+                            "checkpoint interval)")
+    trace.add_argument("--timeline", action="store_true",
+                       help="print the full per-epoch availability table, "
+                            "not just the summary")
 
     sub.add_parser("character", help="print Table 3 workload character")
 
@@ -269,7 +297,8 @@ def cmd_sweep_status(args, out) -> int:
               file=out)
         return 1
     store = ResultStore(args.out)
-    cells = aggregate(store.records())
+    records = store.records()
+    cells = aggregate(records)
     axes = varied_keys(cells)
     rows = [
         ("store", args.out),
@@ -278,6 +307,19 @@ def cmd_sweep_status(args, out) -> int:
         ("malformed lines", store.malformed_lines),
         ("sweep axes", ", ".join(axes) if axes else "-"),
     ]
+    telemetry = aggregate_telemetry(records)
+    if telemetry.get("runs_with_telemetry"):
+        rows += [
+            ("compute spent",
+             f"{telemetry['total_wall_seconds']:,.1f}s wall over "
+             f"{telemetry['runs_with_telemetry']} runs"),
+            ("kernel events",
+             f"{telemetry['total_events_dispatched']:,.0f} dispatched"),
+            ("mean throughput",
+             f"{telemetry['mean_sim_cycles_per_second']:,.0f} sim-cycles/s, "
+             f"{telemetry['mean_events_per_second']:,.0f} events/s"),
+            ("peak CLB entries", f"{telemetry['peak_clb_entries']:,.0f}"),
+        ]
     manifest = CampaignManifest.load(args.out)
     if manifest is None:
         rows.append(("manifest", "absent (written by the next sweep run)"))
@@ -423,16 +465,25 @@ def cmd_profile(args, out) -> int:
     """
     from repro.sim.profile import profile_spec
 
-    spec = _spec_from_args(args)
-    if args.legacy:
-        spec = spec.with_(config_overrides=(
-            ("lazy_timeouts", False), ("burst_fast_path", False)))
     try:
+        spec = _spec_from_args(args)
+        if args.legacy:
+            spec = spec.with_(config_overrides=(
+                ("lazy_timeouts", False), ("burst_fast_path", False)))
         report = profile_spec(spec, use_cprofile=not args.no_cprofile,
                               top_functions=args.top)
     except ValueError as exc:
+        # Bad shape/workload/override: a diagnostic and exit 1, never a
+        # traceback (the spec is built *inside* the try on purpose).
         print(f"bad run: {exc}", file=out)
         return 1
+
+    if args.json == "-":
+        # Machine mode: the report is the whole stdout, so that
+        # `repro profile --json - | python -m json.tool` (or a campaign
+        # aggregator using DispatchProfile.from_dict) can parse it.
+        print(report.to_json(), file=out)
+        return 0 if not report.crashed else 1
 
     mode = "legacy paths" if args.legacy else "current paths"
     label_rows = [
@@ -460,14 +511,140 @@ def cmd_profile(args, out) -> int:
                f"recoveries={report.recoveries} completed={report.completed}")
     print(summary, file=out)
     if args.json:
-        payload = report.to_json()
-        if args.json == "-":
-            print(payload, file=out)
-        else:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(payload + "\n")
-            print(f"report written to {args.json}", file=out)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.json}", file=out)
     return 0 if not report.crashed else 1
+
+
+def cmd_trace(args, out) -> int:
+    """Run one spec with the observability layer attached and export it.
+
+    The tracer journals the SafetyNet lifecycle (checkpoint edges,
+    validation, faults, recoveries); the sampler captures occupancy
+    series at a fixed cadence.  Stdout gets the availability summary and
+    record counts — or, with ``--out -`` / ``--series -``, the raw
+    export itself for piping.
+    """
+    import json as _json
+
+    from repro.obs import (
+        Sampler,
+        TraceLog,
+        availability_timeline,
+        chrome_trace,
+        counts_table,
+        recovery_episodes,
+        timeline_summary,
+    )
+
+    try:
+        spec = _spec_from_args(args)
+        machine = build_machine(spec)
+    except ValueError as exc:
+        print(f"bad run: {exc}", file=out)
+        return 1
+    trace = TraceLog()
+    machine.attach_tracer(trace)
+    sampler = None
+    if args.series:
+        cadence = args.cadence or machine.config.checkpoint_interval
+        try:
+            sampler = Sampler(machine, cadence)
+        except ValueError as exc:
+            print(f"bad run: {exc}", file=out)
+            return 1
+        sampler.start()
+    if args.warmup > 0:
+        result = machine.run_with_warmup(args.warmup, args.instructions,
+                                         max_cycles=args.max_cycles)
+    else:
+        result = machine.run(args.instructions, max_cycles=args.max_cycles)
+    if sampler is not None:
+        sampler.stop()
+
+    num_nodes = len(machine.nodes)
+    raw_to_stdout = args.out == "-" or args.series == "-"
+    if args.out:
+        payload = chrome_trace(trace, num_nodes=num_nodes)
+        if args.out == "-":
+            print(_json.dumps(payload), file=out)
+        else:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(payload, fh)
+                fh.write("\n")
+            print(f"chrome trace written to {args.out} "
+                  f"({len(payload['traceEvents'])} events; open in "
+                  "ui.perfetto.dev or chrome://tracing)", file=out)
+    if sampler is not None:
+        if args.series == "-":
+            sampler.to_csv(out)
+        elif args.series.endswith(".json"):
+            with open(args.series, "w", encoding="utf-8") as fh:
+                fh.write(sampler.to_json() + "\n")
+            print(f"time series written to {args.series} "
+                  f"({len(sampler.rows_)} samples)", file=out)
+        else:
+            with open(args.series, "w", encoding="utf-8") as fh:
+                sampler.to_csv(fh)
+            print(f"time series written to {args.series} "
+                  f"({len(sampler.rows_)} samples)", file=out)
+    if raw_to_stdout:
+        # Stdout is a machine-readable export; keep it parseable.
+        return 0 if not result.crashed else 1
+
+    if args.timeline:
+        rows = [
+            (r["epoch"], f"{r['edge_cycle']:,}",
+             f"{r['signoff_cycle']:,}" if r["signoff_cycle"] is not None
+             else "-",
+             f"{r['signoff_lag']:,}" if r["signoff_lag"] is not None
+             else "unvalidated")
+            for r in availability_timeline(trace, num_nodes=num_nodes)
+        ]
+        print(format_table(
+            ["epoch", "edge cycle", "sign-off cycle", "lag (cycles)"],
+            rows, title="availability timeline"), file=out)
+        episodes = recovery_episodes(trace)
+        if episodes:
+            ep_rows = [
+                (f"{e['begin_cycle']:,}", f"{e['end_cycle']:,}",
+                 f"{e['span']:,}",
+                 f"{e['detection_window']:,}"
+                 if e["detection_window"] is not None else "-",
+                 e["rpcn"] if e["rpcn"] is not None else "-",
+                 e["reason"] or "-")
+                for e in episodes
+            ]
+            print(format_table(
+                ["begin", "end", "span", "detect window", "rpcn", "reason"],
+                ep_rows, title="recovery episodes"), file=out)
+
+    summary = timeline_summary(trace, num_nodes=num_nodes)
+    rows = [
+        ("workload", args.workload),
+        ("trace records", len(trace)),
+        ("epochs (validated)",
+         f"{summary['epochs']} ({summary['epochs_validated']})"),
+        ("mean sign-off lag", f"{summary['mean_signoff_lag']:,.0f} cycles"),
+        ("max sign-off lag", f"{summary['max_signoff_lag']:,} cycles"),
+        ("recoveries", summary["recoveries"]),
+        ("mean recovery span",
+         f"{summary['mean_recovery_span']:,.0f} cycles"),
+        ("mean detection window",
+         f"{summary['mean_detection_window']:,.0f} cycles"),
+        ("cycles", f"{result.cycles:,}"),
+        ("completed", result.completed),
+    ]
+    if result.crashed:
+        rows.append(("CRASH", result.crash_reason))
+    print(format_table(["metric", "value"], rows,
+                       title=f"trace summary (fault={args.fault})"), file=out)
+    count_rows = [(kind, f"{n:,}") for kind, n in counts_table(trace)]
+    if count_rows:
+        print(format_table(["record kind", "count"], count_rows,
+                           title="trace record counts"), file=out)
+    return 0 if not result.crashed else 1
 
 
 def cmd_character(args, out) -> int:
@@ -508,6 +685,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_sweep(args, out)
     if args.command == "profile":
         return cmd_profile(args, out)
+    if args.command == "trace":
+        return cmd_trace(args, out)
     if args.command == "character":
         return cmd_character(args, out)
     return cmd_config(args, out)

@@ -85,6 +85,10 @@ class RecoveryManager:
         self.stats = RecoveryStats()
         self.recovering = False
         self._watchdog_running = False
+        #: Optional :class:`repro.obs.trace.TraceLog` (wired by
+        #: ``Machine.attach_tracer``): detection, rollback begin/restore,
+        #: and restart records with sim-cycle timestamps.
+        self.trace = None
         self.h_recovery_latency = stats.histogram("recovery.latency_cycles")
         self.h_lost_work = stats.histogram("recovery.lost_instructions")
 
@@ -95,6 +99,10 @@ class RecoveryManager:
         """A component detected a fault (timeout, bad CRC, watchdog...)."""
         self.stats.faults_reported += 1
         self.stats.fault_log.append(f"@{self.sim.now}: {reason}")
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "detect.fault", reason=reason,
+                       subsumed=self.recovering)
         if not self.config.safetynet_enabled:
             self._crash(reason)
             return
@@ -104,6 +112,8 @@ class RecoveryManager:
             self._crash(f"recovery livelock guard tripped after {reason}")
             return
         self.recovering = True
+        if trace is not None:
+            trace.emit(self.sim.now, "recovery.begin", reason=reason)
         for node in self.nodes:
             node.core.freeze()
         started = self.sim.now
@@ -132,18 +142,26 @@ class RecoveryManager:
         self.stats.total_messages_discarded += discarded
         # Step 2: every component restores checkpoint `rpcn`.
         max_entries = 0
+        episode_entries = 0
         lost = 0
         for node in self.nodes:
             entries = node.cache.recover_to(rpcn)
             entries += node.home.recover_to(rpcn)
             max_entries = max(max_entries, entries)
-            self.stats.total_entries_unrolled += entries
+            episode_entries += entries
             lost += node.core.recover_to(rpcn)
             if node.commit is not None:
                 node.commit.discard_from(rpcn)
             node.validation.on_recovery(rpcn)
+        self.stats.total_entries_unrolled += episode_entries
         self.stats.total_lost_instructions += lost
         self.h_lost_work.record(lost)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "recovery.restore", rpcn=rpcn,
+                       messages_discarded=discarded,
+                       entries_unrolled=episode_entries,
+                       lost_instructions=lost)
         self.controllers.on_recovery(rpcn)
         # Step 3: reconfigure around dead elements, if any.
         if self.network.topology.dead_switches:
@@ -167,6 +185,10 @@ class RecoveryManager:
         latency = self.sim.now - started
         self.stats.recovery_latencies.append(latency)
         self.h_recovery_latency.record(latency)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "recovery.end",
+                       latency=latency, recovery=self.stats.recoveries)
         for node in self.nodes:
             node.core.resume()
         if self.on_recovery_complete is not None:

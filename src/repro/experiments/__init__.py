@@ -51,7 +51,13 @@ from repro.experiments.manifest import (
     CampaignManifest,
     manifest_path,
 )
-from repro.experiments.runner import RunRecord, Runner, build_machine, execute_run
+from repro.experiments.runner import (
+    RunRecord,
+    Runner,
+    aggregate_telemetry,
+    build_machine,
+    execute_run,
+)
 from repro.experiments.spec import RunSpec, Sweep
 from repro.experiments.store import ResultStore
 
@@ -63,6 +69,7 @@ __all__ = [
     "Sweep",
     "RunRecord",
     "Runner",
+    "aggregate_telemetry",
     "build_machine",
     "execute_run",
     "ResultStore",

@@ -103,6 +103,12 @@ class RunRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
     cached: bool = False
+    #: Execution telemetry (wall seconds, kernel events dispatched,
+    #: sim-cycles/sec, peak CLB occupancy): how the run *performed*, not
+    #: what it computed — like ``elapsed_s`` it is machine-dependent and
+    #: excluded from ``result_key()``.  Empty on records from stores that
+    #: predate the field.
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     RESULT_FIELDS = (
         "cycles", "committed_instructions", "target_instructions",
@@ -167,6 +173,16 @@ def execute_run(spec: RunSpec) -> RunRecord:
         n.cache_clb.peak_occupancy for n in machine.nodes)
     metrics["peak_home_clb_entries"] = max(
         n.home_clb.peak_occupancy for n in machine.nodes)
+    elapsed = time.perf_counter() - started
+    events = machine.sim.events_dispatched
+    telemetry: Dict[str, float] = {
+        "wall_seconds": elapsed,
+        "events_dispatched": events,
+        "sim_cycles_per_second": result.cycles / elapsed if elapsed else 0.0,
+        "events_per_second": events / elapsed if elapsed else 0.0,
+        "peak_clb_entries": max(metrics["peak_cache_clb_entries"],
+                                metrics["peak_home_clb_entries"]),
+    }
     return RunRecord(
         spec=spec,
         spec_hash=spec.spec_hash,
@@ -180,8 +196,34 @@ def execute_run(spec: RunSpec) -> RunRecord:
         lost_instructions=result.lost_instructions,
         reexecuted_instructions=result.reexecuted_instructions,
         metrics=metrics,
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=elapsed,
+        telemetry=telemetry,
     )
+
+
+def aggregate_telemetry(records: Sequence[RunRecord]) -> Dict[str, float]:
+    """Campaign-level execution telemetry over completed records.
+
+    Sums wall seconds and kernel events, means the throughput rates, and
+    keeps the peak CLB occupancy — skipping records from stores that
+    predate the telemetry block (they contribute nothing rather than
+    zeros).  Surfaced by ``repro sweep --status``.
+    """
+    runs = [r for r in records if r.telemetry]
+    out: Dict[str, float] = {"runs_with_telemetry": len(runs)}
+    if not runs:
+        return out
+    out["total_wall_seconds"] = sum(
+        r.telemetry.get("wall_seconds", 0.0) for r in runs)
+    out["total_events_dispatched"] = sum(
+        r.telemetry.get("events_dispatched", 0) for r in runs)
+    out["mean_sim_cycles_per_second"] = sum(
+        r.telemetry.get("sim_cycles_per_second", 0.0) for r in runs) / len(runs)
+    out["mean_events_per_second"] = sum(
+        r.telemetry.get("events_per_second", 0.0) for r in runs) / len(runs)
+    out["peak_clb_entries"] = max(
+        r.telemetry.get("peak_clb_entries", 0) for r in runs)
+    return out
 
 
 class Runner:
@@ -192,6 +234,12 @@ class Runner:
     every run is an isolated deterministic simulation seeded only from
     its spec.  With a ``store``, completed runs are skipped on re-entry
     and fresh results are persisted as soon as each run finishes.
+
+    While a parallel campaign has runs in flight, a heartbeat line is
+    emitted through ``progress`` every ``heartbeat_s`` seconds with the
+    done count, the cells currently executing, and the campaign's mean
+    simulation throughput — a multi-hour sweep reports progress instead
+    of silence.  ``heartbeat_s=0`` disables it.
     """
 
     def __init__(
@@ -200,14 +248,18 @@ class Runner:
         jobs: int = 1,
         store=None,
         progress: Optional[Callable[[str], None]] = None,
+        heartbeat_s: float = 30.0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.store = store
         self.progress = progress or (lambda line: None)
+        self.heartbeat_s = heartbeat_s
         self.executed = 0
         self.skipped = 0
+        self._finished_records: List[RunRecord] = []
+        self._campaign_started = 0.0
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -245,6 +297,7 @@ class Runner:
     # ------------------------------------------------------------------
     def _finish(self, record: RunRecord, index: int, total: int) -> None:
         self.executed += 1
+        self._finished_records.append(record)
         if self.store is not None:
             self.store.append(record)
         state = "CRASH" if record.crashed else (
@@ -283,12 +336,18 @@ class Runner:
             return self._run_serial(specs)
         out: Dict[str, RunRecord] = {}
         total = len(specs)
+        self._campaign_started = time.perf_counter()
+        timeout = self.heartbeat_s if self.heartbeat_s > 0 else None
         try:
             with pool:
                 pending = {pool.submit(execute_run, spec): spec
                            for spec in specs}
                 while pending:
-                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    finished, _ = wait(pending, timeout=timeout,
+                                       return_when=FIRST_COMPLETED)
+                    if not finished:
+                        self._heartbeat(pending, done=len(out), total=total)
+                        continue
                     for future in finished:
                         spec = pending.pop(future)
                         try:
@@ -315,6 +374,27 @@ class Runner:
             remaining = [s for s in specs if s.spec_hash not in out]
             out.update(self._run_serial(remaining))
         return out
+
+    def _heartbeat(self, pending, *, done: int, total: int) -> None:
+        """One liveness line while nothing has finished for a while.
+
+        Names the cells still executing (bounded to three plus a count)
+        and reports the campaign's mean simulation throughput from the
+        records already in hand, so a stalled sweep is distinguishable
+        from a slow one.
+        """
+        elapsed = time.perf_counter() - self._campaign_started
+        in_flight = sorted(
+            f"{spec.workload}/s{spec.seed}" for spec in pending.values())
+        shown = ", ".join(in_flight[:3])
+        if len(in_flight) > 3:
+            shown += f", +{len(in_flight) - 3} more"
+        agg = aggregate_telemetry(self._finished_records)
+        rate = agg.get("mean_sim_cycles_per_second", 0.0)
+        rate_txt = f", {rate:,.0f} sim-cycles/s/run" if rate else ""
+        self.progress(
+            f"heartbeat: {done}/{total} done, {len(pending)} in flight "
+            f"({shown}), {elapsed:.0f}s elapsed{rate_txt}")
 
     def _harvest_finished(self, pending, out: Dict[str, RunRecord],
                           total: int) -> None:

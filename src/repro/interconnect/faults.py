@@ -48,6 +48,9 @@ class PeriodicArmedFault:
         self.injected = 0
         self._armed = False
         self._stopped = False
+        #: Optional :class:`repro.obs.trace.TraceLog` (wired by
+        #: ``Machine.attach_tracer``): each injection is journalled.
+        self.trace = None
         network.add_drop_hook(self._hook)
         sim.schedule(first_at if first_at is not None else period,
                      self._arm, "fault.arm")
@@ -69,6 +72,11 @@ class PeriodicArmedFault:
             return False
         self._armed = False
         self.injected += 1
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "fault.inject",
+                       fault=type(self).__name__, at=str(vertex[1]),
+                       msg_kind=msg.kind.name, src=msg.src, dst=msg.dst)
         if self.remaining is None or self.injected < self.remaining:
             self.sim.schedule_after(self.period, self._arm, "fault.arm")
         return self._fire(msg)
@@ -99,6 +107,8 @@ class KillSwitchFault:
         self.half = half
         self.fired = False
         self.messages_lost_in_switch = 0
+        #: Optional :class:`repro.obs.trace.TraceLog` (see Machine).
+        self.trace = None
         self._event = sim.schedule(at_cycle, self._fire, "fault.kill_switch")
 
     def stop(self) -> None:
@@ -110,3 +120,8 @@ class KillSwitchFault:
     def _fire(self) -> None:
         self.fired = True
         self.messages_lost_in_switch = self.network.kill_half_switch(self.half)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.sim.now, "fault.inject",
+                       fault=type(self).__name__, at=str(self.half),
+                       messages_lost=self.messages_lost_in_switch)

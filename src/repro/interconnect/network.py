@@ -191,6 +191,24 @@ class Network:
     def in_flight_count(self) -> int:
         return len(self._in_flight)
 
+    def buffer_depth(self) -> int:
+        """Live switch-buffer residents, machine-wide (observability view).
+
+        Slotted mode counts entries whose release time has not passed yet
+        (released entries linger in the tables until lazily pruned, so the
+        raw sizes overcount); legacy mode counts the event-managed sets.
+        Read-only: the lazy pruning state is left untouched.
+        """
+        if not self.slotted:
+            return sum(len(s) for s in self._resident.values())
+        now = self.sim.now
+        return sum(
+            1
+            for table in self._resident_until.values()
+            for until in table.values()
+            if until > now
+        )
+
     # ------------------------------------------------------------------
     # Hop machinery
     # ------------------------------------------------------------------

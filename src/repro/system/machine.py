@@ -172,6 +172,41 @@ class Machine:
             on_recovery_complete=lambda: self._on_core_done(-1),
         )
         self._faults: List = []
+        #: Optional structured trace journal (``repro.obs.trace.TraceLog``),
+        #: wired through every subsystem by :meth:`attach_tracer`.
+        self.trace = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, trace) -> None:
+        """Wire a :class:`repro.obs.trace.TraceLog` (or any object with an
+        ``emit(cycle, kind, node=..., **data)`` method) through every
+        SafetyNet lifecycle instrumentation point: checkpoint edges,
+        validation announcements and sign-offs, RPCN advances/applies,
+        fault injections, detections, rollback begin/restore/end, and
+        message losses.
+
+        Observation only — the journal never schedules kernel events or
+        touches RNG streams, so a traced run is bit-identical to an
+        untraced one (``tests/test_obs.py`` holds this).  Injectors
+        created after this call are wired by the ``inject_*`` methods.
+        """
+        self.trace = trace
+        self.clock.trace = trace
+        self.controllers.trace = trace
+        self.recovery.trace = trace
+        for node in self.nodes:
+            node.validation.trace = trace
+        for fault in self._faults:
+            fault.trace = trace
+        self.network.add_lost_listener(
+            lambda msg, reason: trace.emit(
+                self.sim.now, "net.lost", msg.dst,
+                msg_kind=msg.kind.name, src=msg.src, dst=msg.dst,
+                reason=reason,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Fault injection (the paper's two experiments)
@@ -182,6 +217,7 @@ class Machine:
         cycles (the paper: every 100 million cycles)."""
         fault = DropMessageFault(self.sim, self.network, period,
                                 first_at=first_at, count=count)
+        fault.trace = self.trace
         self._faults.append(fault)
         return fault
 
@@ -192,6 +228,7 @@ class Machine:
         if half is None:
             half = HalfSwitchId("ew", 1 % self.config.torus_width, 0)
         fault = KillSwitchFault(self.sim, self.network, half, at_cycle)
+        fault.trace = self.trace
         self._faults.append(fault)
         return fault
 
@@ -203,6 +240,7 @@ class Machine:
         constructor to enable checking."""
         fault = CorruptMessageFault(self.sim, self.network, period,
                                     first_at=first_at, count=count)
+        fault.trace = self.trace
         self._faults.append(fault)
         return fault
 
@@ -213,6 +251,7 @@ class Machine:
         endpoint's illegal-message detection (needs ``error_code=``)."""
         fault = MisrouteMessageFault(self.sim, self.network, period,
                                      first_at=first_at, count=count)
+        fault.trace = self.trace
         self._faults.append(fault)
         return fault
 
