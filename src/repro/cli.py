@@ -469,7 +469,8 @@ def cmd_profile(args, out) -> int:
         spec = _spec_from_args(args)
         if args.legacy:
             spec = spec.with_(config_overrides=(
-                ("lazy_timeouts", False), ("burst_fast_path", False)))
+                ("lazy_timeouts", False), ("burst_fast_path", False),
+                ("express_hops", False)))
         report = profile_spec(spec, use_cprofile=not args.no_cprofile,
                               top_functions=args.top)
     except ValueError as exc:
@@ -506,6 +507,14 @@ def cmd_profile(args, out) -> int:
         print(format_table(
             ["function", "calls", "excl s", "cum s"], fn_rows,
             title="cProfile hot functions"), file=out)
+    net = report.network
+    if net:
+        print(f"network: {net['hop_dispatches'] + net['express_dispatches']:,}"
+              f" hop dispatches advanced "
+              f"{net['hop_dispatches'] + net['express_hops']:,} hops "
+              f"({net['hops_per_dispatch']:.2f} hops/dispatch, "
+              f"{net['express_hop_fraction']:.1%} express, "
+              f"{net['express_interrupts']:,} interrupts)", file=out)
     summary = (f"cycles={report.cycles:,} committed="
                f"{report.committed_instructions:,} "
                f"recoveries={report.recoveries} completed={report.completed}")

@@ -91,6 +91,16 @@ class SystemConfig:
     #: per-op ``fast_access`` calls — arithmetically identical, retained
     #: as the differential-benchmark baseline.
     burst_fast_path: bool = True
+    #: Express-hop flight advancement (default): when every switch on a
+    #: message's remaining path segment is provably idle, the network
+    #: computes the segment's arrival time arithmetically and pays one
+    #: kernel dispatch for the whole segment instead of one per hop
+    #: (``net.express`` vs ``net.hop``).  Contention, fault arming, or a
+    #: crossing send materialises the flight back to hop-by-hop at its
+    #: current position.  False keeps one-event-per-hop scheduling as the
+    #: bit-identity oracle (see benchmarks/test_network_hotpath.py and
+    #: tests/test_express_hops.py, same pattern as ``lazy_timeouts``).
+    express_hops: bool = True
     #: Optional home-side open-transaction timeout (cycles).  None (the
     #: default) preserves the historical behaviour: an orphaned home
     #: transaction is caught only by the requestor's timeout or the

@@ -22,12 +22,23 @@ from repro.sim.kernel import Simulator
 
 
 class PeriodicArmedFault:
-    """Arms itself every ``period`` cycles and fires on the next message
+    """Arms itself every ``period`` cycles and fires on a message
     entering a switch.
 
-    Subclasses implement :meth:`_fire`; its return value is the switch
-    hook's verdict (True = drop the message, False = let it continue).
-    ``count`` bounds the number of injections (None = unbounded).
+    Subclasses implement :meth:`_fire`; its return value decides whether
+    the chosen message is dropped (True) or continues, possibly mutated
+    (False).  ``count`` bounds the number of injections (None =
+    unbounded).
+
+    Victim selection is *slotted*, like the network's delivery and
+    link-claim ties: while armed, switch entries observed during a cycle
+    are collected and the fault fires at the end of that cycle on the
+    entry with the smallest ``msg_id`` — not on whichever dispatch
+    happened to run first.  Same-cycle dispatch order is a history of
+    event insertion (exactly what express-hop advancement compresses),
+    so picking the victim by arrival order would make fault runs diverge
+    between express and hop-by-hop scheduling; the canonical key keeps
+    them bit-identical.
     """
 
     def __init__(
@@ -48,29 +59,52 @@ class PeriodicArmedFault:
         self.injected = 0
         self._armed = False
         self._stopped = False
+        # Switch entries seen this cycle while armed: (msg, vertex).
+        self._candidates: list = []
         #: Optional :class:`repro.obs.trace.TraceLog` (wired by
         #: ``Machine.attach_tracer``): each injection is journalled.
         self.trace = None
-        network.add_drop_hook(self._hook)
+        # Managed: express advancement stays enabled outside the armed
+        # windows; _arm/_hook bracket each window with hold/release so the
+        # hook observes every switch a message traverses while armed.
+        network.add_drop_hook(self._hook, managed=True)
         sim.schedule(first_at if first_at is not None else period,
                      self._arm, "fault.arm")
 
     def stop(self) -> None:
         """Disarm permanently (e.g. before quiescing for invariant checks)."""
         self._stopped = True
-        self._armed = False
+        if self._armed:
+            self._armed = False
+            self.network.express_release()
 
     def _arm(self) -> None:
         if self._stopped:
             return
         if self.remaining is not None and self.injected >= self.remaining:
             return
-        self._armed = True
+        if not self._armed:
+            self._armed = True
+            self.network.express_hold()
 
     def _hook(self, msg: Message, vertex: Vertex) -> bool:
         if not self._armed:
             return False
+        # Never drop synchronously: collect this cycle's switch entries
+        # and resolve the victim at end of cycle (see class docstring).
+        if not self._candidates:
+            self.sim.schedule(self.sim.now, self._resolve, "fault.resolve")
+        self._candidates.append((msg, vertex))
+        return False
+
+    def _resolve(self) -> None:
+        candidates = self._candidates
+        self._candidates = []
+        if not self._armed or not candidates:
+            return  # stopped between collection and resolution
+        msg, vertex = min(candidates, key=lambda c: c[0].msg_id)
         self._armed = False
+        self.network.express_release()
         self.injected += 1
         trace = self.trace
         if trace is not None:
@@ -79,7 +113,9 @@ class PeriodicArmedFault:
                        msg_kind=msg.kind.name, src=msg.src, dst=msg.dst)
         if self.remaining is None or self.injected < self.remaining:
             self.sim.schedule_after(self.period, self._arm, "fault.arm")
-        return self._fire(msg)
+        if self._fire(msg):
+            self.network.drop_in_flight(
+                msg, f"fault injection at {vertex[1]}")
 
     def _fire(self, msg: Message) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -72,10 +72,13 @@ class Message:
     grant: Optional[str] = None         # "S" or "M" on data responses
     payload: Dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    # Computed once at construction: the network reads it on every hop
+    # (serialisation latency, bandwidth meters), so a property would pay
+    # the descriptor + set-membership cost per hop instead of per message.
+    size_bytes: int = field(init=False)
 
-    @property
-    def size_bytes(self) -> int:
-        return 72 if self.kind in DATA_KINDS else 8
+    def __post_init__(self) -> None:
+        self.size_bytes = 72 if self.kind in DATA_KINDS else 8
 
     def is_data(self) -> bool:
         return self.kind in DATA_KINDS

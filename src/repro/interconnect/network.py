@@ -19,6 +19,27 @@ its delivery injects) against non-hop events of the same cycle — an
 order-dependent tie that made slotted and legacy runs diverge once
 checkpoint-validation traffic became completion-triggered.  One event per
 hop keeps dispatch order identical to legacy by construction.
+
+*Express hops* (``express=True``, slotted only) recover multi-hop
+advancement without re-opening that wound: when every switch on a
+flight's remaining path segment is idle — no live serialisation entries
+(the per-switch next-free-cycle register answers that in O(1)), no link
+contention, no armed drop hooks — the whole segment's hop times are
+computed arithmetically and ONE ``net.express`` dispatch is scheduled at
+the arrival into the *last* switch, which then runs the ordinary
+arrive/depart for the final hop.  Keeping the final hop ordinary anchors
+the delivery event's insertion at the same cycle as hop-by-hop mode, so
+its heap position relative to everything scheduled at other cycles is
+unchanged.  The skipped intermediate dispatches are pure bookkeeping
+(residency writes on an idle switch) with no observer — and the moment an
+observer appears, the flight *materialises*: any send or hop that touches
+a claimed segment link or switch, a fault injector arming
+(:meth:`express_hold`), or a switch kill first restores exactly the
+residency/link state hop-by-hop scheduling would have produced at the
+current cycle, then falls back to one event per hop for the rest of the
+path.  Ties at the materialisation cycle resolve observer-first (a hop
+whose arrival is scheduled for *this* cycle has not happened yet) — the
+same deterministic-tie family as the release-cycle rule below.
 """
 
 from __future__ import annotations
@@ -41,8 +62,10 @@ LostFn = Callable[[Message, str], None]
 # attached to the majority of all kernel events in a full-machine run
 # (ROADMAP "event-label allocation").
 LABEL_HOP = sys.intern("net.hop")
+LABEL_EXPRESS = sys.intern("net.express")
 LABEL_LEAVE = sys.intern("net.leave")
 LABEL_LOCAL = sys.intern("net.local_deliver")
+LABEL_DELIVER = sys.intern("net.deliver")
 LABEL_RETRY = sys.intern("net.buffer_retry")
 
 
@@ -54,22 +77,53 @@ class _Flight:
     closure allocation on the hottest scheduling path.  ``ser`` is the
     link-serialisation time, computed once per message instead of once
     per hop.
+
+    Express state (``exp_*``) is live only while the flight is advancing
+    a segment arithmetically: ``exp_base`` is the path index the segment
+    started from, ``exp_times[j]`` the arrival cycle at path index
+    ``exp_base + 1 + j`` (the last entry is the arrival into the final
+    switch, where the one ``net.express`` event fires), ``exp_saved`` the
+    pre-claim link-horizon values needed to unwind on materialisation.
+    ``no_express`` pins a materialised flight to hop-by-hop for good.
     """
 
-    __slots__ = ("msg", "path", "index", "dropped", "epoch", "net", "ser")
+    __slots__ = ("msg", "mid", "path", "index", "dropped", "epoch", "net",
+                 "ser", "no_express", "exp_base", "exp_times", "exp_saved",
+                 "exp_event", "claim_cycle", "claim_link", "claim_start",
+                 "claim_base", "claim_next", "claim_event", "claim_leave")
 
     def __init__(self, msg: Message, path: List[Vertex], epoch: int,
                  net: "Network", ser: int) -> None:
         self.msg = msg
+        self.mid = msg.msg_id   # hop-path alias (skips the msg deref)
         self.path = path
         self.index = 0          # vertex the message is currently at
         self.dropped = False
         self.epoch = epoch
         self.net = net
         self.ser = ser
+        self.no_express = False
+        self.exp_base = 0
+        self.exp_times: Optional[List[int]] = None
+        self.exp_saved: Optional[List[Optional[int]]] = None
+        self.exp_event = None
+        # Claim-chain bookkeeping (see Network._claim_link): the cycle and
+        # start of this flight's latest link claim, the link horizon before
+        # the chain began, the next chain member, and the scheduled events
+        # a re-resolution must displace.
+        self.claim_cycle = -1
+        self.claim_link: Optional[Tuple[Vertex, Vertex]] = None
+        self.claim_start = 0
+        self.claim_base = 0
+        self.claim_next: Optional["_Flight"] = None
+        self.claim_event = None
+        self.claim_leave = None
 
     def __call__(self) -> None:
         self.net._arrive(self)
+
+    def express_call(self) -> None:
+        self.net._express_complete(self)
 
 
 class Network:
@@ -104,6 +158,7 @@ class Network:
         bytes_per_cycle: float = 6.4,
         buffer_capacity: int = 64,
         slotted: bool = True,
+        express: bool = True,
         name: str = "net",
     ) -> None:
         self.sim = sim
@@ -115,6 +170,7 @@ class Network:
         self.bytes_per_cycle = bytes_per_cycle
         self.buffer_capacity = buffer_capacity
         self.slotted = slotted
+        self.express = bool(express and slotted)
         self._name = name
 
         self._endpoints: Dict[int, DeliverFn] = {}
@@ -123,6 +179,37 @@ class Network:
         self._resident: Dict[Vertex, Set[int]] = defaultdict(set)
         # Slotted residency: msg_id -> cycle the buffer entry is released.
         self._resident_until: Dict[Vertex, Dict[int, int]] = defaultdict(dict)
+        # Per-switch next-free-cycle register: the max release cycle ever
+        # written for the switch.  Monotone per write, so "every entry's
+        # release has passed" — the express idle test — is one O(1)
+        # comparison instead of a table scan.
+        self._switch_next_free: Dict[Vertex, int] = {}
+        # Express claims: resources an in-express flight will use, keyed
+        # back to the flight so any other traffic touching them can
+        # materialise it first.
+        self._express_links: Dict[Tuple[Vertex, Vertex], _Flight] = {}
+        self._express_switches: Dict[Vertex, _Flight] = {}
+        self._express_flights: Dict[int, _Flight] = {}
+        # While > 0 express advancement is ineligible (armed drop hooks,
+        # unmanaged hooks); see express_hold/express_release.
+        self._express_holds = 0
+        # Adaptive gate: committing earns a credit (capped), being
+        # interrupted costs a large one, and each send restores one when
+        # exhausted.  Contended phases therefore stop paying for doomed
+        # segment commits almost immediately, while idle phases keep full
+        # express advancement; results are mode-identical either way, so
+        # the gate only shapes wall-clock cost.
+        self._express_credit = 32
+        # Folded gate: express enabled AND no holds AND credit left.  Kept
+        # current by the three mutation sites so _depart tests one flag.
+        self._express_on = self.express
+        # Delivery slotting (see _enqueue_delivery): this cycle's arrived
+        # messages, handed to endpoints in msg_id order at end of cycle.
+        self._deliver_ready: List[Message] = []
+        self._deliver_cycle = -1
+        # Claim slotting (see _claim_chain): most recent claimant per link,
+        # so a same-cycle claim collision can find and re-resolve the chain.
+        self._claim_head: Dict[Tuple[Vertex, Vertex], _Flight] = {}
         self._in_flight: Dict[int, _Flight] = {}
         self._drop_hooks: List[DropHook] = []
         self._lost_listeners: List[LostFn] = []
@@ -144,6 +231,13 @@ class Network:
         self.c_contention_cycles = self.stats.counter(
             f"{name}.contention_cycles")
         self.c_buffer_stalls = self.stats.counter(f"{name}.buffer_stalls")
+        # Express-hop telemetry (fed to the `repro profile` efficiency
+        # line): flights that went express, hops they advanced without a
+        # per-hop dispatch, and interruptions back to hop-by-hop.
+        self.c_express_flights = self.stats.counter(f"{name}.express_flights")
+        self.c_express_hops = self.stats.counter(f"{name}.express_hops")
+        self.c_express_interrupts = self.stats.counter(
+            f"{name}.express_interrupts")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -152,9 +246,40 @@ class Network:
         """Register the delivery callback for a node endpoint."""
         self._endpoints[node_id] = deliver
 
-    def add_drop_hook(self, hook: DropHook) -> None:
-        """Hooks run as a message enters a switch; True means drop it."""
+    def add_drop_hook(self, hook: DropHook, *, managed: bool = False) -> None:
+        """Hooks run as a message enters a switch; True means drop it.
+
+        Express hops skip intermediate switch entries, so a hook can only
+        be trusted to see every switch if express is off while the hook
+        could fire.  A *managed* registrar (e.g.
+        :class:`~repro.interconnect.faults.PeriodicArmedFault`) brackets
+        its armed windows with :meth:`express_hold` / :meth:`express_release`
+        itself; an unmanaged hook pins a hold for the network's lifetime.
+        """
         self._drop_hooks.append(hook)
+        if not managed:
+            self.express_hold()
+
+    def express_hold(self) -> None:
+        """Disable express advancement and materialise every in-express
+        flight (so per-switch observers — armed drop hooks above all —
+        see each subsequent switch entry individually)."""
+        self._express_holds += 1
+        self._express_on = False
+        if self._express_flights:
+            for flight in list(self._express_flights.values()):
+                self._materialize(flight)
+
+    def express_release(self) -> None:
+        """Balance one :meth:`express_hold` (flights may go express again)."""
+        if self._express_holds <= 0:
+            raise RuntimeError("express_release without a matching hold")
+        self._express_holds -= 1
+        self._refresh_express_on()
+
+    def _refresh_express_on(self) -> None:
+        self._express_on = (self.express and not self._express_holds
+                            and self._express_credit > 0)
 
     def add_lost_listener(self, listener: LostFn) -> None:
         """Called whenever a message is lost (fault injection or dead switch)."""
@@ -176,13 +301,20 @@ class Network:
             epoch = self._epoch
             self.sim.schedule_after(
                 1,
-                lambda m=msg: epoch == self._epoch and self._deliver(m),
+                lambda m=msg: epoch == self._epoch
+                and self._enqueue_delivery(m),
                 LABEL_LOCAL,
             )
             return
         path = self.routing.path(msg.src, msg.dst)
         flight = _Flight(msg, path, self._epoch, self, self._serialization(msg))
         self._in_flight[msg.msg_id] = flight
+        if self.express:
+            credit = self._express_credit
+            if credit <= 0:
+                self._express_credit = credit + 1  # probe calmer traffic
+                if credit == 0:
+                    self._refresh_express_on()
         self.c_messages_sent.add()
         self.c_bytes_sent.add(msg.size_bytes)
         self._depart(flight)
@@ -198,16 +330,42 @@ class Network:
         (released entries linger in the tables until lazily pruned, so the
         raw sizes overcount); legacy mode counts the event-managed sets.
         Read-only: the lazy pruning state is left untouched.
+
+        In-express flights have no residency entries for the intermediate
+        switches they are advancing through arithmetically, so their
+        occupancy is reconstructed from the flight's timetable: the
+        message occupies switch ``k`` while serialising onto the next
+        link, i.e. during ``[arrive_k, arrive_k + ser)``.  (The starting
+        switch and the final switch use real entries.)  Without this the
+        depth would undercount exactly when the network is busiest moving
+        express traffic.
         """
         if not self.slotted:
             return sum(len(s) for s in self._resident.values())
         now = self.sim.now
-        return sum(
+        depth = sum(
             1
             for table in self._resident_until.values()
             for until in table.values()
             if until > now
         )
+        for flight in self._express_flights.values():
+            times = flight.exp_times
+            ser = flight.ser
+            for j in range(len(times) - 1):  # intermediates; last is real
+                a = times[j]
+                if a > now:
+                    break
+                # Sampling runs after the cycle's events: a hop arriving
+                # at exactly ``now`` has happened and holds its buffer
+                # (hop-by-hop writes residency [a, a + ser) in the same
+                # dispatch), unlike the *observer-first* rule used for
+                # materialisation, where the observer runs mid-cycle
+                # before the arrival.
+                if now < a + ser:
+                    depth += 1
+                    break  # a flight occupies at most one switch
+        return depth
 
     # ------------------------------------------------------------------
     # Hop machinery
@@ -219,29 +377,132 @@ class Network:
         """Move the message from its current vertex onto the next link."""
         if flight.dropped or flight.epoch != self._epoch:
             return
-        here = flight.path[flight.index]
-        nxt = flight.path[flight.index + 1]
+        path = flight.path
+        index = flight.index
+        here = path[index]
+        nxt = path[index + 1]
         link = (here, nxt)
+        if self._express_links:
+            # This send/hop crosses an in-express segment: the express
+            # flight claimed the link, so restore its hop-by-hop state
+            # before computing contention against it.
+            other = self._express_links.get(link)
+            if other is not None:
+                self._materialize(other)
+        if (self._express_on
+                and not flight.no_express
+                and len(path) - index >= 4
+                and self._try_express(flight)):
+            return
+        now = self.sim.now
+        head = self._claim_head.get(link)
+        if (head is not None and head.claim_cycle == now
+                and head.claim_link == link):
+            self._claim_chain(flight, link, here, head)
+            return
+        base = self._link_free.get(link, 0)
+        start = now if base <= now else base
         ser = flight.ser
-        start = max(self.sim.now, self._link_free.get(link, 0))
         self._link_free[link] = start + ser
-        wait = start - self.sim.now
+        flight.claim_cycle = now
+        flight.claim_link = link
+        flight.claim_start = start
+        flight.claim_base = base
+        flight.claim_next = None
+        self._claim_head[link] = flight
+        wait = start - now
         if wait:
             self.c_contention_cycles.add(wait)
-        switch_delay = self.switch_latency if here[0] == "sw" else 1
-        arrive_at = start + ser + self.link_latency + switch_delay
+        if self.slotted:
+            # _finish_claim's slotted branch, inlined: this is the one
+            # claim per hop dispatch on the default configuration.
+            if here[0] == "sw":
+                release = start + ser
+                self._resident_until[here][flight.mid] = release
+                nf = self._switch_next_free
+                if release > nf.get(here, 0):
+                    nf[here] = release
+                arrive_at = start + ser + self.link_latency + self.switch_latency
+            else:
+                arrive_at = start + ser + self.link_latency + 1
+            flight.claim_event = self.sim.schedule(arrive_at, flight, LABEL_HOP)
+        else:
+            self._finish_claim(flight, here, start)
+
+    def _claim_chain(self, flight: _Flight, link: Tuple[Vertex, Vertex],
+                     here: Vertex, head: _Flight) -> None:
+        """Claim slotting: same-cycle claims on one link serialise in
+        ``msg_id`` order, not dispatch order.
+
+        Which flight wins a link when two claim it in the same cycle
+        would otherwise be event-insertion order — history express
+        advancement rewrites (a materialised flight's hop is re-queued
+        with a fresh sequence number).  Re-resolving the cycle's claim
+        chain against a canonical key keeps every mode's contention
+        pattern identical.  Chains are rare (a few hundred per default
+        run), so the single-claim fast path above stays lean.
+        """
+        now = self.sim.now
+        if head.exp_times is not None:
+            # The head committed an express segment from this link this
+            # cycle: pin it back to a real hop so its claim events exist.
+            self._materialize(head)
+        chain = []
+        member: Optional[_Flight] = head
+        while member is not None:
+            chain.append(member)
+            member = member.claim_next
+        old_total = sum(m.claim_start - now for m in chain)
+        chain.append(flight)
+        chain.sort(key=lambda m: m.mid)
+        base = head.claim_base
+        start = now if base <= now else base
+        new_total = 0
+        prev: Optional[_Flight] = None
+        for m in chain:
+            m.claim_cycle = now
+            m.claim_link = link
+            m.claim_base = base
+            m.claim_next = None
+            if prev is not None:
+                prev.claim_next = m
+            prev = m
+            if m is flight or m.claim_start != start:
+                if m is not flight:
+                    m.claim_event.cancel()
+                    if m.claim_leave is not None:
+                        m.claim_leave.cancel()
+                        m.claim_leave = None
+                m.claim_start = start
+                self._finish_claim(m, here, start)
+            new_total += start - now
+            start += m.ser
+        self._link_free[link] = start
+        self._claim_head[link] = chain[0]
+        if new_total != old_total:
+            self.c_contention_cycles.add(new_total - old_total)
+
+    def _finish_claim(self, flight: _Flight, here: Vertex,
+                      start: int) -> None:
+        """Residency, register, and hop scheduling for one link claim."""
+        ser = flight.ser
+        arrive_at = start + ser + self.link_latency + (
+            self.switch_latency if here[0] == "sw" else 1)
         # The message occupies the current switch buffer until it is fully
         # on the wire (link start + serialisation).
         if self.slotted:
             if here[0] == "sw":
-                self._resident_until[here][flight.msg.msg_id] = start + ser
+                release = start + ser
+                self._resident_until[here][flight.mid] = release
+                if release > self._switch_next_free.get(here, 0):
+                    self._switch_next_free[here] = release
             self._schedule_hop(flight, arrive_at)
         else:
-            self.sim.schedule(
+            flight.claim_event = self.sim.schedule(
                 arrive_at, lambda f=flight: self._arrive(f), LABEL_HOP
             )
             if here[0] == "sw":
-                self.sim.schedule(
+                flight.claim_leave = self.sim.schedule(
                     start + ser, lambda f=flight, v=here: self._leave(f, v),
                     LABEL_LEAVE
                 )
@@ -251,7 +512,7 @@ class Network:
         """Queue a hop completion: one kernel event doing the whole hop
         (the legacy scheme pays a second ``net.leave`` event per hop),
         with the flight itself as the callback (no closure allocation)."""
-        self.sim.schedule(when, flight, LABEL_HOP)
+        flight.claim_event = self.sim.schedule(when, flight, LABEL_HOP)
 
     def _at_capacity(self, table) -> bool:
         """Whether a switch's buffer (slotted mode) is full of *live*
@@ -266,32 +527,214 @@ class Network:
             del table[mid]
         return len(table) >= self.buffer_capacity
 
+    # -- express hops ---------------------------------------------------
+    def _try_express(self, flight: _Flight) -> bool:
+        """Attempt wormhole-style segment advancement from the flight's
+        current vertex through the last switch before its destination.
+
+        Eligibility (checked before any state is touched): every segment
+        link free by the cycle the flight would claim it, every segment
+        switch alive, unclaimed, and idle per the next-free register.
+        On success the segment's links are claimed at exactly the values
+        hop-by-hop departs would write, the switches are registered so
+        any other traffic materialises the flight, and ONE ``net.express``
+        event is scheduled at the arrival into the last switch — which
+        then runs the ordinary arrive/depart, anchoring the delivery
+        event's insertion cycle to match hop-by-hop mode.
+        """
+        path = flight.path
+        base = flight.index
+        last_sw = len(path) - 2          # final switch before the dst node
+        now = self.sim.now
+        ser = flight.ser
+        link_free = self._link_free
+        next_free = self._switch_next_free
+        dead = self._dead_switches
+        ex_sw = self._express_switches
+        ex_ln = self._express_links
+        link_lat = self.link_latency
+        sw_lat = self.switch_latency
+
+        t = now
+        for k in range(base, last_sw):
+            here = path[k]
+            nxt = path[k + 1]
+            if link_free.get((here, nxt), 0) > t or (here, nxt) in ex_ln:
+                return False
+            if (nxt[1] in dead or nxt in ex_sw
+                    or next_free.get(nxt, 0) > now):
+                return False
+            t += ser + link_lat + (sw_lat if here[0] == "sw" else 1)
+
+        # Commit: claim the segment.  The first hop's claim and residency
+        # are exactly what a normal depart would write this dispatch; the
+        # rest are pre-claims keyed back to the flight.
+        msg_id = flight.mid
+        times: List[int] = []
+        saved: List[Optional[int]] = []
+        t = now
+        for k in range(base, last_sw):
+            here = path[k]
+            nxt = path[k + 1]
+            link = (here, nxt)
+            release = t + ser
+            if k == base:
+                # A real claim, identical to what a hop-by-hop depart
+                # would write this dispatch — including the claim-chain
+                # record, so a later same-cycle claimant re-resolves
+                # against this flight (materialising it first).
+                flight.claim_cycle = t
+                flight.claim_link = link
+                flight.claim_start = t
+                flight.claim_base = link_free.get(link, 0)
+                flight.claim_next = None
+                self._claim_head[link] = flight
+                link_free[link] = release
+                if here[0] == "sw":
+                    self._resident_until[here][msg_id] = release
+                    if release > next_free.get(here, 0):
+                        next_free[here] = release
+            else:
+                saved.append(link_free.get(link))
+                link_free[link] = release
+                ex_ln[link] = flight
+            ex_sw[nxt] = flight
+            t += ser + link_lat + (sw_lat if here[0] == "sw" else 1)
+            times.append(t)
+        flight.exp_base = base
+        flight.exp_times = times
+        flight.exp_saved = saved
+        self._express_flights[msg_id] = flight
+        flight.exp_event = self.sim.schedule(
+            times[-1], flight.express_call, LABEL_EXPRESS)
+        credit = self._express_credit
+        if credit < 64:
+            self._express_credit = credit + 1
+        self.c_express_flights.add()
+        self.c_express_hops.add(len(times))
+        return True
+
+    def _express_complete(self, flight: _Flight) -> None:
+        """The one express dispatch: the flight has reached the last
+        switch; release the claims and run the ordinary arrival there."""
+        if flight.dropped or flight.epoch != self._epoch:
+            return
+        last_sw = flight.exp_base + len(flight.exp_times)
+        self._express_clear(flight)
+        flight.index = last_sw - 1
+        self._arrive(flight)
+
+    def _materialize(self, flight: _Flight) -> None:
+        """Interrupt an in-express flight: restore exactly the per-hop
+        state hop-by-hop scheduling would show at the current cycle, then
+        fall back to one event per hop for the rest of the path.
+
+        Tie rule (deterministic): an arrival scheduled for *this* cycle
+        has not happened yet — the materialising observer dispatches
+        first.  Claims follow the same rule: a segment link's pre-claim
+        stands only if its depart cycle is strictly in the past;
+        otherwise the saved horizon is restored so the observer contends
+        against the true hop-by-hop state.
+        """
+        now = self.sim.now
+        path = flight.path
+        base = flight.exp_base
+        times = flight.exp_times
+        saved = flight.exp_saved
+        ser = flight.ser
+        last_sw = base + len(times)
+        flight.exp_event.cancel()
+        link_free = self._link_free
+        next_free = self._switch_next_free
+        pos = base
+        for j, a in enumerate(times):
+            if a >= now:
+                break
+            pos = base + 1 + j
+        for k in range(base + 1, last_sw):
+            arrive_k = times[k - base - 1]
+            link = (path[k], path[k + 1])
+            if arrive_k < now:
+                # The depart at path[k] already "ran": its residency
+                # entry was popped when the flight moved on, but the
+                # next-free register write survives (monotone max).
+                release = arrive_k + ser
+                if release > next_free.get(path[k], 0):
+                    next_free[path[k]] = release
+            else:
+                old = saved[k - base - 1]
+                if old is None:
+                    link_free.pop(link, None)
+                else:
+                    link_free[link] = old
+        if pos > base:
+            # The flight is buffered at (or serialising out of) path[pos]:
+            # the one residency entry hop-by-hop mode would still hold.
+            self._resident_until[path[pos]][flight.mid] = (
+                times[pos - base - 1] + ser)
+        self._express_clear(flight)
+        flight.index = pos
+        flight.no_express = True
+        self._express_credit -= 32
+        if self._express_credit <= 0:
+            self._express_on = False
+        self.c_express_interrupts.add()
+        self._schedule_hop(flight, times[pos - base])
+
+    def _express_clear(self, flight: _Flight) -> None:
+        """Drop the flight's claims and express state (idempotent)."""
+        path = flight.path
+        base = flight.exp_base
+        last_sw = base + len(flight.exp_times)
+        ex_ln = self._express_links
+        ex_sw = self._express_switches
+        for k in range(base + 1, last_sw):
+            ex_ln.pop((path[k], path[k + 1]), None)
+            ex_sw.pop(path[k], None)
+        ex_sw.pop(path[last_sw], None)
+        self._express_flights.pop(flight.mid, None)
+        flight.exp_times = None
+        flight.exp_saved = None
+        flight.exp_event = None
+
     # -- shared arrival logic ------------------------------------------
     def _leave(self, flight: _Flight, vertex: Vertex) -> None:
-        self._resident[vertex].discard(flight.msg.msg_id)
+        self._resident[vertex].discard(flight.mid)
 
     def _arrive(self, flight: _Flight) -> None:
         if flight.dropped or flight.epoch != self._epoch:
             return
-        flight.index += 1
-        if self.slotted:
+        index = flight.index = flight.index + 1
+        path = flight.path
+        slotted = self.slotted
+        if slotted:
             # Leave, finalised: the entry's release time already passed
             # (it was start + ser, strictly before this arrival).
-            prev = flight.path[flight.index - 1]
+            prev = path[index - 1]
             if prev[0] == "sw":
-                self._resident_until[prev].pop(flight.msg.msg_id, None)
-        vertex = flight.path[flight.index]
+                self._resident_until[prev].pop(flight.mid, None)
+        vertex = path[index]
         if vertex[0] == "sw":
+            if self._express_switches:
+                # Arrival at a switch an express flight claimed: the
+                # claimant materialises first (observer-first tie rule)
+                # so the occupancy this flight observes is hop-by-hop's.
+                other = self._express_switches.get(vertex)
+                if other is not None:
+                    self._materialize(other)
             half: HalfSwitchId = vertex[1]
-            if half in self._dead_switches:
+            if self._dead_switches and half in self._dead_switches:
                 self._lose(flight, f"dead switch {half}")
                 return
-            for hook in self._drop_hooks:
-                if hook(flight.msg, vertex):
-                    self._lose(flight, f"fault injection at {half}")
-                    return
-            if self.slotted:
-                full = self._at_capacity(self._resident_until[vertex])
+            if self._drop_hooks:
+                for hook in self._drop_hooks:
+                    if hook(flight.msg, vertex):
+                        self._lose(flight, f"fault injection at {half}")
+                        return
+            if slotted:
+                table = self._resident_until[vertex]
+                full = (len(table) >= self.buffer_capacity
+                        and self._at_capacity(table))
             else:
                 full = len(self._resident[vertex]) >= self.buffer_capacity
             if full:
@@ -302,20 +745,47 @@ class Network:
                     4, lambda f=flight: self._arrive_retry(f), LABEL_RETRY
                 )
                 return
-            if not self.slotted:
-                self._resident[vertex].add(flight.msg.msg_id)
+            if not slotted:
+                self._resident[vertex].add(flight.mid)
             # Slotted residency is recorded in _depart, which runs within
             # this same dispatch and knows the buffer-release time.
             self._depart(flight)
         else:
             # Destination endpoint.
-            del self._in_flight[flight.msg.msg_id]
-            self._deliver(flight.msg)
+            del self._in_flight[flight.mid]
+            self._enqueue_delivery(flight.msg)
 
     def _arrive_retry(self, flight: _Flight) -> None:
         if flight.dropped or flight.epoch != self._epoch:
             return
         self._arrive(flight)
+
+    def _enqueue_delivery(self, msg: Message) -> None:
+        """Delivery slotting: endpoint handlers run once per cycle, at the
+        end of the cycle, in ``msg_id`` order.
+
+        Same-cycle delivery order would otherwise be event-insertion order,
+        which is a history of *when* each hop event entered the kernel heap
+        — exactly the thing express advancement changes.  Sorting each
+        cycle's deliveries by a key the modes share makes the order (and
+        thus every downstream dispatch) independent of how the flights got
+        here, so legacy, slotted, and express runs stay bit-identical.
+        """
+        now = self.sim.now
+        if self._deliver_cycle != now:
+            self._deliver_cycle = now
+            self.sim.schedule(now, self._flush_deliveries, LABEL_DELIVER)
+        self._deliver_ready.append(msg)
+
+    def _flush_deliveries(self) -> None:
+        ready = self._deliver_ready
+        if not ready:
+            return
+        self._deliver_ready = []
+        if len(ready) > 1:
+            ready.sort(key=lambda m: m.msg_id)
+        for msg in ready:
+            self._deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
         self.c_messages_delivered.add()
@@ -327,9 +797,26 @@ class Network:
             raise RuntimeError(f"no endpoint attached for node {target}")
         handler(msg)
 
+    def drop_in_flight(self, msg: Message, reason: str) -> bool:
+        """Drop a message that is still traversing the network (the
+        deferred-verdict path of :class:`~repro.interconnect.faults.
+        PeriodicArmedFault`: the victim is chosen at end of cycle, after
+        its switch entry already continued).  Any link claim the flight
+        made this cycle stands — the bits were on the wire — and its
+        pending events are squelched by the ``dropped`` flag.  Returns
+        False if the message already left the network."""
+        flight = self._in_flight.get(msg.msg_id)
+        if flight is None or flight.dropped:
+            return False
+        self._lose(flight, reason)
+        return True
+
     def _lose(self, flight: _Flight, reason: str) -> None:
+        if flight.exp_times is not None:
+            flight.exp_event.cancel()
+            self._express_clear(flight)
         flight.dropped = True
-        self._in_flight.pop(flight.msg.msg_id, None)
+        self._in_flight.pop(flight.mid, None)
         self.c_messages_lost.add()
         for listener in self._lost_listeners:
             listener(flight.msg, reason)
@@ -343,6 +830,11 @@ class Network:
         Routing is NOT recomputed here — that is the recovery-time
         reconfiguration step (:meth:`reconfigure`)."""
         vertex: Vertex = ("sw", half)
+        claimant = self._express_switches.get(vertex)
+        if claimant is not None:
+            # Pin the in-express flight back to its true position first;
+            # if it is buffered here it dies with the switch below.
+            self._materialize(claimant)
         if self.slotted:
             now = self.sim.now
             table = self._resident_until.pop(vertex, {})
@@ -375,4 +867,11 @@ class Network:
         self._resident.clear()
         self._resident_until.clear()
         self._link_free.clear()
+        self._switch_next_free.clear()
+        self._express_links.clear()
+        self._express_switches.clear()
+        self._express_flights.clear()
+        self._deliver_ready.clear()
+        self._deliver_cycle = -1
+        self._claim_head.clear()
         return count

@@ -20,6 +20,7 @@ from repro.coherence.cache import CacheController
 from repro.coherence.state import CacheState
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
+from repro.workloads.base import OP_ADDR_MASK, OP_GAP_SHIFT, OP_STORE_BIT
 
 # How many ops one scheduler event may process before yielding (keeps
 # event latency bounded; has no architectural meaning).
@@ -66,14 +67,16 @@ class Core:
         self.on_readiness_changed: Optional[Callable[[], None]] = None
 
         # Burst-local fast path (config.burst_fast_path): the burst loop
-        # inlines the cache hit path and defers counter updates to burst
-        # exit.  I/O hooks observe every retirement individually, and stub
-        # caches (unit tests) lack the inlined internals, so both keep the
+        # inlines the cache hit path, consumes the workload's packed-op
+        # stream, and defers counter updates to burst exit.  I/O hooks
+        # observe every retirement individually, and stub caches/workloads
+        # (unit tests) lack the inlined internals, so those keep the
         # per-op reference loop.
         self._fast_path = (
             config.burst_fast_path
             and io_hooks is None
             and isinstance(cache, CacheController)
+            and hasattr(workload, "op_packed")
         )
 
         self.target: Optional[int] = None
@@ -188,7 +191,7 @@ class Core:
         ccn = cache.ccn                      # stable within one event
         logging_on = cache.config.safetynet_enabled
         modified = CacheState.MODIFIED
-        op = self.workload.op
+        op = self.workload.op_packed
         nid = self.node_id
         store_tag = (nid + 1) << 44          # _store_value's node component
         registers = self.registers
@@ -216,7 +219,10 @@ class Core:
                 flush()
                 self._schedule_finish(t)
                 return
-            gap, is_store, addr = op(nid, position)
+            p = op(nid, position)
+            gap = p >> OP_GAP_SHIFT
+            is_store = p & OP_STORE_BIT
+            addr = p & OP_ADDR_MASK
             t_issue = t + gap + 1
             if t_issue > edge:
                 flush()
@@ -265,7 +271,7 @@ class Core:
                     return
             # Miss (including stores to O/S blocks, which need upgrades).
             flush()
-            self._start_miss_event(addr, is_store, gap, t_issue)
+            self._start_miss_event(addr, bool(is_store), gap, t_issue)
             return
         # Quantum exhausted: yield to other events, resume at time t.
         flush()

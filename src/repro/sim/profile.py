@@ -167,6 +167,10 @@ class ProfileReport:
     events_dispatched: int
     dispatch: DispatchProfile
     functions: List[Dict[str, Any]] = field(default_factory=list)
+    #: Express-hop efficiency (see Network): hop dispatches vs hops
+    #: advanced arithmetically, and the fraction of hops that rode an
+    #: express segment.  Empty when the machine has no network counters.
+    network: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -182,6 +186,7 @@ class ProfileReport:
             "events_dispatched": self.events_dispatched,
             "kernel_events": self.dispatch.to_dict(),
             "hot_functions": self.functions,
+            "network": self.network,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -216,6 +221,7 @@ def profile_spec(spec, *, use_cprofile: bool = True,
     if prof is not None:
         prof.disable()
     wall = perf_counter() - started
+    network = network_efficiency(machine, dispatch)
     return ProfileReport(
         spec=spec.canonical(),
         wall_seconds=wall,
@@ -227,4 +233,36 @@ def profile_spec(spec, *, use_cprofile: bool = True,
         events_dispatched=machine.sim.events_dispatched,
         dispatch=dispatch,
         functions=hot_functions(prof, top_functions) if prof is not None else [],
+        network=network,
     )
+
+
+def network_efficiency(machine, dispatch: DispatchProfile) -> Dict[str, Any]:
+    """Express-hop efficiency of one profiled run.
+
+    ``hops_per_dispatch`` is total hops advanced (per-switch events plus
+    hops covered arithmetically by express segments) over the dispatches
+    that advanced them — the express win is exactly this ratio climbing
+    above 1.0.  ``express_hop_fraction`` is the share of hops that rode
+    an express segment.  Empty for machines without a network.
+    """
+    net = getattr(machine, "network", None)
+    if net is None or not hasattr(net, "c_express_hops"):
+        return {}
+    hop_dispatches = dispatch.counts.get("net.hop", 0)
+    express_dispatches = dispatch.counts.get("net.express", 0)
+    express_hops = net.c_express_hops.value
+    total_hops = hop_dispatches + express_hops
+    total_dispatches = hop_dispatches + express_dispatches
+    return {
+        "express_enabled": bool(net.express),
+        "hop_dispatches": hop_dispatches,
+        "express_dispatches": express_dispatches,
+        "express_flights": net.c_express_flights.value,
+        "express_hops": express_hops,
+        "express_interrupts": net.c_express_interrupts.value,
+        "hops_per_dispatch": (total_hops / total_dispatches
+                              if total_dispatches else 0.0),
+        "express_hop_fraction": (express_hops / total_hops
+                                 if total_hops else 0.0),
+    }

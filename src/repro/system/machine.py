@@ -93,6 +93,7 @@ class Machine:
             bytes_per_cycle=config.link_bandwidth_bytes_per_cycle,
             buffer_capacity=config.switch_buffer_messages,
             slotted=slotted_network,
+            express=config.express_hops,
         )
 
         # --- logical time -------------------------------------------------

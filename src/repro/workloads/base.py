@@ -30,6 +30,17 @@ class MemOp(NamedTuple):
     addr: int  # byte address, block aligned
 
 
+# Packed-op encoding (``op_packed``): one int instead of a MemOp tuple on
+# the per-retired-op hot path — ``gap`` above bit 49, the store flag at
+# bit 48, the byte address in the low 48 bits.  ``gap`` is at most 255
+# (derived from an 8-bit hash field) and addresses are bounded at
+# construction, so the fields can never collide.
+OP_ADDR_BITS = 48
+OP_ADDR_MASK = (1 << OP_ADDR_BITS) - 1
+OP_STORE_BIT = 1 << OP_ADDR_BITS
+OP_GAP_SHIFT = OP_ADDR_BITS + 1
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Knobs that shape a workload's memory-reference character.
@@ -151,6 +162,10 @@ class SyntheticWorkload:
         self._priv_stride = stride
         self._alloc_off = s.private_blocks
         self.total_blocks = shared_total + num_cpus * stride
+        if (self.total_blocks << self.BLOCK_SHIFT) > OP_ADDR_MASK:
+            raise ValueError(
+                f"footprint of {self.total_blocks} blocks overflows the "
+                f"{OP_ADDR_BITS}-bit packed-op address field")
         # Probability thresholds as 16-bit integers.
         self._gap_mod = 2 * s.mean_gap + 1
         self._t_store = int(s.store_frac * 65536)
@@ -162,6 +177,12 @@ class SyntheticWorkload:
         self._t_hot = int(s.hot_frac * 65536)
         self._t_alloc = int(s.alloc_frac * 65536)
         self._t_update_store = int(s.update_store_frac * 65536)
+        # Hot-subset and partition sizes precomputed off the hot path
+        # (op_packed inlines _shared_op/_update_phase_op, which derive
+        # these inline; same values, same streams).
+        self._ro_hot_blocks = max(1, s.ro_shared_blocks // 16)
+        self._rw_hot_blocks = max(1, s.rw_shared_blocks // 8)
+        self._part_blocks = max(1, s.rw_shared_blocks // num_cpus)
         # Last-op memo, one slot per CPU.  The burst loop legitimately
         # re-asks for the same (cpu, index): a burst that stops at a
         # checkpoint edge or a CLB throttle recomputes the op it could not
@@ -176,12 +197,20 @@ class SyntheticWorkload:
         return block << self.BLOCK_SHIFT
 
     def op(self, cpu: int, index: int) -> MemOp:
+        """Tuple view of :meth:`op_packed` — the oracle/compat interface."""
+        p = self.op_packed(cpu, index)
+        return MemOp(p >> OP_GAP_SHIFT, bool(p & OP_STORE_BIT),
+                     p & OP_ADDR_MASK)
+
+    def op_packed(self, cpu: int, index: int) -> int:
         # This is the per-instruction hot path of the whole simulator (one
         # call per retired memory op): the splitmix64 double-mix is inlined
-        # rather than calling mix64 twice, and the dominant private-region
-        # branch is flattened from _private_op (which stays below as the
-        # readable reference; tests/test_deadlines_and_profile.py holds the
-        # two together).  Same math, same stream.
+        # rather than calling mix64 twice, the dominant private-region
+        # branch is flattened from _private_op, and the result is a packed
+        # int (gap/store/addr, see OP_* above) instead of a MemOp
+        # allocation.  The readable MemOp helpers stay below as the
+        # reference; tests/test_deadlines_and_profile.py holds the two
+        # together.  Same math, same stream.
         if self._memo_index[cpu] == index:
             return self._memo_op[cpu]
         s = self.spec
@@ -201,9 +230,34 @@ class SyntheticWorkload:
         r_addr2 = (h2 >> 16) & 0xFFFFFFFF
 
         if s.phase_len and ((index // s.phase_len) & 1):
-            out = self._update_phase_op(cpu, index, gap, r_store, r_addr, r_addr2)
+            # Barnes-like update phase (packed _update_phase_op).
+            part = self._part_blocks
+            block = self._rw_base + cpu * part + r_addr2 % part
+            out = (gap << OP_GAP_SHIFT) | (block << self.BLOCK_SHIFT)
+            if r_store < self._t_update_store:
+                out |= OP_STORE_BIT
         elif r_region < self._t_shared:
-            out = self._shared_op(cpu, index, gap, r_store, r_hot, r_addr, r_addr2)
+            # Shared regions (packed _shared_op).
+            sub = r_addr & 0xFFFF
+            if sub < self._t_ro and s.ro_shared_blocks:
+                if r_hot < self._t_hot:
+                    block = self._ro_base + r_addr2 % self._ro_hot_blocks
+                else:
+                    block = self._ro_base + r_addr2 % s.ro_shared_blocks
+                out = (gap << OP_GAP_SHIFT) | (block << self.BLOCK_SHIFT)
+            elif sub < self._t_mig and s.migratory_blocks:
+                block = self._mig_base + r_addr2 % s.migratory_blocks
+                out = (gap << OP_GAP_SHIFT) | (block << self.BLOCK_SHIFT)
+                if r_store < self._t_mig_store:
+                    out |= OP_STORE_BIT
+            else:
+                if r_hot < self._t_hot:
+                    block = self._rw_base + r_addr2 % self._rw_hot_blocks
+                else:
+                    block = self._rw_base + r_addr2 % s.rw_shared_blocks
+                out = (gap << OP_GAP_SHIFT) | (block << self.BLOCK_SHIFT)
+                if r_store < self._t_rw_store:
+                    out |= OP_STORE_BIT
         else:
             # Private region (flattened _private_op: the common case).
             base = self._priv_base + cpu * self._priv_stride
@@ -216,13 +270,14 @@ class SyntheticWorkload:
                     block = base + r_addr2 % s.store_hot_blocks
                 else:
                     block = base + r_addr2 % s.private_blocks
-                out = MemOp(gap, True, block << self.BLOCK_SHIFT)
+                out = ((gap << OP_GAP_SHIFT) | OP_STORE_BIT
+                       | (block << self.BLOCK_SHIFT))
             else:
                 if r_hot < self._t_hot:
                     block = base + r_addr2 % s.private_hot_blocks
                 else:
                     block = base + r_addr2 % s.private_blocks
-                out = MemOp(gap, False, block << self.BLOCK_SHIFT)
+                out = (gap << OP_GAP_SHIFT) | (block << self.BLOCK_SHIFT)
         self._memo_index[cpu] = index
         self._memo_op[cpu] = out
         return out

@@ -12,7 +12,9 @@ tests combine it with fault injection.
 
 from __future__ import annotations
 
-from repro.workloads.base import MemOp, mix64
+from repro.workloads.base import (
+    MemOp, OP_ADDR_MASK, OP_GAP_SHIFT, OP_STORE_BIT, mix64,
+)
 
 
 class RandomTester:
@@ -34,8 +36,16 @@ class RandomTester:
         self.spec = type("Spec", (), {"name": "random_tester"})()
 
     def op(self, cpu: int, index: int) -> MemOp:
+        """Tuple view of :meth:`op_packed` (oracle/compat interface)."""
+        p = self.op_packed(cpu, index)
+        return MemOp(p >> OP_GAP_SHIFT, bool(p & OP_STORE_BIT),
+                     p & OP_ADDR_MASK)
+
+    def op_packed(self, cpu: int, index: int) -> int:
         h = mix64(self.seed ^ ((cpu << 40) + index))
         gap = (h & 0xFF) % self._gap_mod
-        is_store = ((h >> 8) & 0xFFFF) < self._t_store
-        block = (h >> 24) % self.blocks
-        return MemOp(gap, is_store, block << self.BLOCK_SHIFT)
+        out = (gap << OP_GAP_SHIFT) | (((h >> 24) % self.blocks)
+                                       << self.BLOCK_SHIFT)
+        if ((h >> 8) & 0xFFFF) < self._t_store:
+            out |= OP_STORE_BIT
+        return out

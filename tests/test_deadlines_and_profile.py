@@ -8,6 +8,8 @@
 
 import json
 
+import pytest
+
 from repro.config import SystemConfig
 from repro.interconnect.messages import Message, MessageKind
 from repro.sim.deadlines import DeadlineTable
@@ -158,6 +160,40 @@ def test_profile_spec_reports_labels_and_json():
     payload = json.loads(report.to_json())
     assert payload["result"]["completed"] is True
     assert payload["kernel_events"]["total_dispatches"] == report.events_dispatched
+
+
+def test_profile_reports_express_hop_efficiency():
+    """The network-efficiency block: hop dispatches vs hops advanced,
+    express coverage, and its JSON round-trip."""
+    from repro.experiments import RunSpec
+
+    spec = RunSpec(workload="apache", instructions=400, preset="tiny",
+                   scale=64, max_cycles=2_000_000)
+    report = profile_spec(spec, use_cprofile=False)
+    net = report.network
+    for field in ("express_enabled", "hop_dispatches", "express_dispatches",
+                  "express_flights", "express_hops", "express_interrupts",
+                  "hops_per_dispatch", "express_hop_fraction"):
+        assert field in net, f"missing network-efficiency field {field}"
+    assert net["express_enabled"] is True
+    assert net["hop_dispatches"] == report.dispatch.counts.get("net.hop", 0)
+    assert net["hops_per_dispatch"] >= 1.0
+    assert 0.0 <= net["express_hop_fraction"] <= 1.0
+    # Hops advanced = per-switch dispatches + arithmetic express hops.
+    total = net["hop_dispatches"] + net["express_hops"]
+    dispatches = net["hop_dispatches"] + net["express_dispatches"]
+    assert net["hops_per_dispatch"] == pytest.approx(
+        total / dispatches if dispatches else 0.0)
+    payload = json.loads(report.to_json())
+    assert payload["network"] == net
+
+    # Express off: the block must report zero express activity.
+    off = profile_spec(spec.with_(config_overrides=(
+        ("express_hops", False),)), use_cprofile=False)
+    assert off.network["express_enabled"] is False
+    assert off.network["express_flights"] == 0
+    assert off.network["express_hops"] == 0
+    assert off.network["hops_per_dispatch"] in (0.0, 1.0)
 
 
 # ----------------------------------------------------------------------

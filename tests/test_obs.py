@@ -193,6 +193,41 @@ def test_sampler_is_result_identical():
     assert sampler.peak("clb_entries") > 0
 
 
+def test_buffer_depth_counts_in_express_flights():
+    """An in-express flight holds no residency entries for the switches
+    it advances through arithmetically, so ``Network.buffer_depth`` (and
+    therefore the Sampler's ``net_buffer_depth`` series) reconstructs its
+    occupancy from the segment timetable.  Depth sampled mid-flight must
+    match a hop-by-hop run cycle for cycle."""
+    from repro.interconnect.messages import Message, MessageKind
+    from repro.interconnect.network import Network
+    from repro.interconnect.routing import RoutingTable
+    from repro.interconnect.topology import TorusTopology
+    from repro.sim.kernel import Simulator
+
+    def depth_series(express: bool):
+        sim = Simulator()
+        topo = TorusTopology(8, 8)
+        net = Network(sim, topo, RoutingTable(topo), slotted=True,
+                      express=express)
+        for nid in range(64):
+            net.attach(nid, lambda m: None)
+        net.send(Message(MessageKind.GETS, src=0, dst=27))
+        series = []
+        for cycle in range(1, 120):
+            sim.run(limit=cycle)
+            series.append(net.buffer_depth())
+        flights = net.c_express_flights.value
+        sim.run()
+        return series, flights
+
+    express_series, express_flights = depth_series(True)
+    reference_series, _ = depth_series(False)
+    assert express_flights > 0, "the flight never went express"
+    assert express_series == reference_series
+    assert max(express_series) > 0, "depth never saw the flight buffered"
+
+
 def test_sampler_views_and_validation():
     _, _, _, sampler = _traced_run(sample_cadence=1_000)
     fh = io.StringIO()
