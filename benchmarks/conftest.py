@@ -18,6 +18,7 @@ simulated-cycle metrics.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import List
@@ -95,3 +96,26 @@ def run_once(experiment, benchmark):
     """Run ``experiment`` exactly once under pytest-benchmark."""
     return benchmark.pedantic(experiment, rounds=1, iterations=1,
                               warmup_rounds=0)
+
+
+def record_bench(guard: str, speedup: float, events: int,
+                 wall_s: float, **extra) -> None:
+    """Append one machine-readable guard result to ``$REPRO_BENCH_JSON``.
+
+    Each differential guard (kernel, CPU, network, validation hot paths)
+    calls this with the measured fast/legacy ratio; when the environment
+    variable is unset nothing happens.  The file is JSON-lines — one
+    ``{"guard", "speedup", "events", "wall_s", ...}`` object per guard
+    per run — so the README's speedup trajectory can be regenerated from
+    committed ``BENCH_*.json`` data instead of maintained as prose:
+
+        REPRO_BENCH_JSON=BENCH_kernel.json pytest benchmarks/test_kernel_hotpath.py
+    """
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    row = {"guard": guard, "speedup": round(speedup, 3),
+           "events": events, "wall_s": round(wall_s, 4)}
+    row.update(extra)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")

@@ -35,7 +35,7 @@ from repro.system.machine import Machine
 from repro.workloads import by_name
 from repro.workloads.base import SyntheticWorkload, WorkloadSpec
 
-from benchmarks.conftest import run_once, smoke_mode
+from benchmarks.conftest import record_bench, run_once, smoke_mode
 
 SMOKE = smoke_mode()
 
@@ -120,6 +120,8 @@ def test_cpu_hot_stream_throughput(benchmark):
           f"\n  legacy: {legacy_s:.3f}s, {legacy_ev:,} kernel events"
           f"\n  fast  : {fast_s:.3f}s, {fast_ev:,} kernel events"
           f"\n  speedup {speedup:.2f}x, event ratio {event_ratio:.3f}")
+    record_bench("cpu_hot_stream", speedup, fast_ev, fast_s,
+                 event_ratio=round(event_ratio, 3))
     assert fast_key == legacy_key, (
         f"fast paths diverged on the CPU-hot stream\n"
         f"  fast  : {fast_key}\n  legacy: {legacy_key}")

@@ -50,7 +50,7 @@ from repro.sim.kernel import Simulator
 from repro.system.machine import Machine
 from repro.workloads import by_name
 
-from benchmarks.conftest import run_once, smoke_mode
+from benchmarks.conftest import record_bench, run_once, smoke_mode
 
 SMOKE = smoke_mode()
 
@@ -118,6 +118,8 @@ def test_hop_dispatch_throughput(benchmark):
           f"\n  legacy : {legacy_s:.3f}s, {legacy_events:,} kernel events"
           f"\n  slotted: {slotted_s:.3f}s, {slotted_events:,} kernel events"
           f"\n  speedup: {speedup:.2f}x, event ratio {event_ratio:.2f}")
+    record_bench("network_hop_dispatch", speedup, slotted_events, slotted_s,
+                 event_ratio=round(event_ratio, 3))
     assert event_ratio < MAX_EVENT_RATIO, (
         f"slotted scheduling stopped batching: {slotted_events:,} events vs "
         f"legacy {legacy_events:,} (ratio {event_ratio:.2f})"

@@ -36,7 +36,7 @@ from repro.config import SystemConfig
 from repro.system.machine import Machine
 from repro.workloads import by_name
 
-from benchmarks.conftest import run_once, smoke_mode
+from benchmarks.conftest import record_bench, run_once, smoke_mode
 
 SMOKE = smoke_mode()
 
@@ -108,6 +108,8 @@ def test_validation_scheduling_throughput(benchmark):
           f"\n  polled      : {polled_s:.3f}s, {polled_events:,} kernel events"
           f"\n  event-driven: {event_s:.3f}s, {event_events:,} kernel events"
           f"\n  speedup: {speedup:.2f}x, event ratio {event_ratio:.2f}")
+    record_bench("validation_scheduling", speedup, event_events, event_s,
+                 event_ratio=round(event_ratio, 2))
     assert event_ratio < MAX_EVENT_RATIO, (
         f"event-driven validation stopped saving dispatches: "
         f"{event_events:,} events vs polled {polled_events:,} "

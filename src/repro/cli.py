@@ -139,9 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_experiment_args(prof, instructions=8_000, warmup=0, period=60_000)
     prof.add_argument("--seed", type=int, default=1)
     prof.add_argument("--legacy", action="store_true",
-                      help="profile the legacy hot paths "
-                           "(lazy_timeouts=False, burst_fast_path=False) "
-                           "for before/after comparison")
+                      help="profile the legacy hot paths (lazy_timeouts, "
+                           "burst_fast_path, express_hops, and "
+                           "calendar_kernel all False) for before/after "
+                           "comparison")
     prof.add_argument("--top", type=int, default=12,
                       help="rows per table (labels and functions)")
     prof.add_argument("--no-cprofile", action="store_true",
@@ -319,7 +320,14 @@ def cmd_sweep_status(args, out) -> int:
              f"{telemetry['mean_sim_cycles_per_second']:,.0f} sim-cycles/s, "
              f"{telemetry['mean_events_per_second']:,.0f} events/s"),
             ("peak CLB entries", f"{telemetry['peak_clb_entries']:,.0f}"),
+            ("peak pending events",
+             f"{telemetry['peak_pending_events']:,.0f}"),
         ]
+        if telemetry.get("total_overflow_promotions"):
+            rows.append(
+                ("overflow promotions",
+                 f"{telemetry['total_overflow_promotions']:,.0f} "
+                 "(calendar kernel)"))
     manifest = CampaignManifest.load(args.out)
     if manifest is None:
         rows.append(("manifest", "absent (written by the next sweep run)"))
@@ -470,7 +478,7 @@ def cmd_profile(args, out) -> int:
         if args.legacy:
             spec = spec.with_(config_overrides=(
                 ("lazy_timeouts", False), ("burst_fast_path", False),
-                ("express_hops", False)))
+                ("express_hops", False), ("calendar_kernel", False)))
         report = profile_spec(spec, use_cprofile=not args.no_cprofile,
                               top_functions=args.top)
     except ValueError as exc:
@@ -515,6 +523,19 @@ def cmd_profile(args, out) -> int:
               f"({net['hops_per_dispatch']:.2f} hops/dispatch, "
               f"{net['express_hop_fraction']:.1%} express, "
               f"{net['express_interrupts']:,} interrupts)", file=out)
+    queue = report.queue
+    if queue.get("core") == "calendar":
+        print(f"queue: calendar width={queue['width']:,} "
+              f"lane/wheel/overflow scheduled "
+              f"{queue['lane_scheduled']:,}/{queue['wheel_scheduled']:,}/"
+              f"{queue['overflow_scheduled']:,} "
+              f"({queue['overflow_promotions']:,} promotions, "
+              f"{queue['resizes']} resizes, "
+              f"{queue['free_list_hit_rate']:.1%} recycled, "
+              f"peak pending {queue['peak_pending']:,})", file=out)
+    elif queue:
+        print(f"queue: heap peak pending {queue['peak_pending']:,}",
+              file=out)
     summary = (f"cycles={report.cycles:,} committed="
                f"{report.committed_instructions:,} "
                f"recoveries={report.recoveries} completed={report.completed}")

@@ -101,6 +101,14 @@ class SystemConfig:
     #: bit-identity oracle (see benchmarks/test_network_hotpath.py and
     #: tests/test_express_hops.py, same pattern as ``lazy_timeouts``).
     express_hops: bool = True
+    #: Calendar-queue kernel core (default): the machine's event queue is
+    #: a :class:`repro.sim.calendar.CalendarSimulator` — per-cycle buckets
+    #: with an overflow tier, a zero-delay fast lane, and event recycling;
+    #: O(1) amortised schedule/dispatch instead of the heap's O(log n).
+    #: False keeps the binary-heap :class:`repro.sim.kernel.Simulator` as
+    #: the bit-identity oracle (see benchmarks/test_kernel_hotpath.py and
+    #: tests/test_calendar_kernel.py, same pattern as ``express_hops``).
+    calendar_kernel: bool = True
     #: Optional home-side open-transaction timeout (cycles).  None (the
     #: default) preserves the historical behaviour: an orphaned home
     #: transaction is caught only by the requestor's timeout or the

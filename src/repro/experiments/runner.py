@@ -182,7 +182,12 @@ def execute_run(spec: RunSpec) -> RunRecord:
         "events_per_second": events / elapsed if elapsed else 0.0,
         "peak_clb_entries": max(metrics["peak_cache_clb_entries"],
                                 metrics["peak_home_clb_entries"]),
+        "peak_pending_events": machine.sim.peak_pending,
     }
+    if hasattr(machine.sim, "c_overflow_promotions"):
+        # Calendar-core queue health: how often far-future deadlines took
+        # the overflow detour (high counts = wheel narrower than the mix).
+        telemetry["overflow_promotions"] = machine.sim.c_overflow_promotions
     return RunRecord(
         spec=spec,
         spec_hash=spec.spec_hash,
@@ -223,6 +228,10 @@ def aggregate_telemetry(records: Sequence[RunRecord]) -> Dict[str, float]:
         r.telemetry.get("events_per_second", 0.0) for r in runs) / len(runs)
     out["peak_clb_entries"] = max(
         r.telemetry.get("peak_clb_entries", 0) for r in runs)
+    out["peak_pending_events"] = max(
+        r.telemetry.get("peak_pending_events", 0) for r in runs)
+    out["total_overflow_promotions"] = sum(
+        r.telemetry.get("overflow_promotions", 0) for r in runs)
     return out
 
 

@@ -4,13 +4,33 @@ The whole reproduction runs on a single integer cycle clock (one cycle is
 one processor clock at the paper's 1 GHz target, i.e. 1 ns).  Components
 schedule callbacks at absolute cycles; ties are broken by insertion order so
 that every run with the same seeds is bit-for-bit reproducible.
+
+Two interchangeable kernel cores implement that contract:
+
+* :class:`Simulator` (this module) — a binary heap of ``(when, seq, event)``
+  tuples.  O(log n) schedule/pop, no assumptions about the event mix.  It
+  is the reference core: simple enough to audit, and every alternative
+  core must reproduce its dispatch order bit-for-bit.
+* :class:`~repro.sim.calendar.CalendarSimulator` — a calendar queue
+  (per-cycle buckets plus a sorted overflow tier) with a zero-delay fast
+  lane and event recycling; O(1) amortised on the dense integer streams
+  the machine produces.  Selected by ``SystemConfig.calendar_kernel``
+  (the default); guarded by ``benchmarks/test_kernel_hotpath.py`` and
+  ``tests/test_calendar_kernel.py``.
+
+:func:`make_kernel` is the factory the machine layer uses; new cores
+register themselves in :data:`KERNEL_CORES`.  A core is any object with
+the Simulator API surface the components rely on: ``now``, ``schedule``,
+``schedule_after``, ``run``, ``step``, ``stop``, ``stop_reason``,
+``pending``, ``peak_pending``, ``events_dispatched``, ``drain_matching``,
+and the optional ``tracer`` hook.
 """
 
 from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -68,6 +88,10 @@ class Simulator:
         self._events_dispatched: int = 0
         self._stopped: bool = False
         self._stop_reason: Optional[str] = None
+        #: High-water mark of :meth:`pending` (cancelled entries included):
+        #: how deep the event queue ever got.  Harvested into campaign
+        #: telemetry (``RunRecord.telemetry["peak_pending_events"]``).
+        self.peak_pending: int = 0
         #: Optional dispatch profiler: any object with a
         #: ``record(label, seconds)`` method (see
         #: :class:`repro.sim.profile.DispatchProfile`).  When set,
@@ -87,7 +111,10 @@ class Simulator:
             )
         event = Event(int(when), self._seq, callback, label)
         self._seq += 1
-        heapq.heappush(self._queue, (event.when, event.seq, event))
+        queue = self._queue
+        heapq.heappush(queue, (event.when, event.seq, event))
+        if len(queue) > self.peak_pending:
+            self.peak_pending = len(queue)
         return event
 
     def schedule_after(self, delay: int, callback: Callable[[], None], label: str = "") -> Event:
@@ -194,13 +221,25 @@ class Simulator:
 
     def step(self) -> bool:
         """Dispatch exactly one (non-cancelled) event.  Returns False when
-        the queue is empty."""
+        the queue is empty.
+
+        Same dispatch semantics as :meth:`run` — the backwards-time guard
+        and the optional tracer timing apply here too, so stepping through
+        a run observes exactly what running it would.
+        """
         while self._queue:
             event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
+            if event.when < self.now:
+                raise SimulationError("event queue went backwards in time")
             self.now = event.when
-            event.callback()
+            if self.tracer is not None:
+                started = perf_counter()
+                event.callback()
+                self.tracer.record(event.label, perf_counter() - started)
+            else:
+                event.callback()
             self._events_dispatched += 1
             return True
         return False
@@ -208,15 +247,58 @@ class Simulator:
     def drain_matching(self, predicate: Callable[[Event], bool]) -> int:
         """Cancel every queued event matching ``predicate``.
 
-        Used by recovery to discard in-flight network/protocol events.
-        Returns the number of events cancelled.
+        Used by recovery-style bulk discards of in-flight network/protocol
+        events.  Returns the number of events newly cancelled.
+
+        Cancelled events normally stay queued (lazily skipped on pop), but
+        a caller that drains repeatedly — one drain per recovery on a
+        fault-heavy run — would otherwise grow the queue without bound
+        with tuples that never fire before the far-future deadlines ahead
+        of them.  When more than half the queue is dead after a drain, the
+        queue is compacted in place (drop cancelled entries, re-heapify):
+        O(n), against a scan that was O(n) already.
         """
         cancelled = 0
+        dead = 0
         for _, _, event in self._queue:
-            if not event.cancelled and predicate(event):
+            if event.cancelled:
+                dead += 1
+            elif predicate(event):
                 event.cancel()
                 cancelled += 1
+        if (cancelled + dead) * 2 > len(self._queue):
+            self._queue = [entry for entry in self._queue
+                           if not entry[2].cancelled]
+            heapq.heapify(self._queue)
         return cancelled
+
+
+#: Kernel-core registry: name -> zero-argument factory.  ``heap`` is the
+#: reference core defined above; ``calendar`` (repro.sim.calendar) is
+#: registered lazily by :func:`make_kernel` so importing the kernel never
+#: drags the calendar module in.
+KERNEL_CORES: Dict[str, Callable[[], "Simulator"]] = {"heap": Simulator}
+
+
+def make_kernel(core: str = "heap") -> "Simulator":
+    """Build a kernel core by registry name (``"heap"`` / ``"calendar"``).
+
+    The machine layer calls this with
+    ``"calendar" if config.calendar_kernel else "heap"``; every core is a
+    drop-in :class:`Simulator` — same API, same deterministic
+    ``(when, seq)`` dispatch order, bit-identical runs
+    (``tests/test_calendar_kernel.py`` holds the cores equivalent).
+    """
+    if core == "calendar" and core not in KERNEL_CORES:
+        from repro.sim.calendar import CalendarSimulator  # registers itself
+        assert KERNEL_CORES.get("calendar") is CalendarSimulator
+    try:
+        factory = KERNEL_CORES[core]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel core {core!r}; one of {sorted(KERNEL_CORES)}"
+        ) from None
+    return factory()
 
 
 class Ticker:

@@ -171,6 +171,11 @@ class ProfileReport:
     #: advanced arithmetically, and the fraction of hops that rode an
     #: express segment.  Empty when the machine has no network counters.
     network: Dict[str, Any] = field(default_factory=dict)
+    #: Kernel queue health (see CalendarSimulator.queue_health): wheel
+    #: width and occupancy, zero-delay-lane / wheel / overflow schedule
+    #: mix, promotion and resize counts, free-list hit rate.  For the
+    #: heap core, just the core name and the pending high-water mark.
+    queue: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -187,6 +192,7 @@ class ProfileReport:
             "kernel_events": self.dispatch.to_dict(),
             "hot_functions": self.functions,
             "network": self.network,
+            "queue": self.queue,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -222,6 +228,7 @@ def profile_spec(spec, *, use_cprofile: bool = True,
         prof.disable()
     wall = perf_counter() - started
     network = network_efficiency(machine, dispatch)
+    queue = queue_health(machine.sim)
     return ProfileReport(
         spec=spec.canonical(),
         wall_seconds=wall,
@@ -234,7 +241,23 @@ def profile_spec(spec, *, use_cprofile: bool = True,
         dispatch=dispatch,
         functions=hot_functions(prof, top_functions) if prof is not None else [],
         network=network,
+        queue=queue,
     )
+
+
+def queue_health(sim) -> Dict[str, Any]:
+    """Kernel queue-health snapshot of one profiled run.
+
+    The calendar core reports its own block (wheel occupancy, schedule
+    mix, promotions, free-list hit rate — see
+    :meth:`repro.sim.calendar.CalendarSimulator.queue_health`); the heap
+    core has no internal tiers, so its block is just the core name and
+    the pending high-water mark.
+    """
+    health = getattr(sim, "queue_health", None)
+    if health is not None:
+        return health()
+    return {"core": "heap", "peak_pending": sim.peak_pending}
 
 
 def network_efficiency(machine, dispatch: DispatchProfile) -> Dict[str, Any]:

@@ -31,7 +31,7 @@ from repro.interconnect.faults import DropMessageFault, KillSwitchFault
 from repro.interconnect.network import Network
 from repro.interconnect.routing import RoutingTable
 from repro.interconnect.topology import HalfSwitchId, TorusTopology
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import make_kernel
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import StatsRegistry
 from repro.system.node import IoHooks, Node
@@ -77,7 +77,7 @@ class Machine:
         self.config = config
         self.workload = workload
         self.seed = seed
-        self.sim = Simulator()
+        self.sim = make_kernel("calendar" if config.calendar_kernel else "heap")
         self.stats = StatsRegistry()
         rngs = {"skew": DeterministicRng(seed * 7919 + 1),
                 "external": DeterministicRng(seed * 104729 + 2)}

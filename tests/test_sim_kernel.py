@@ -1,8 +1,12 @@
 """Unit tests for the discrete-event kernel."""
 
+import heapq
+
 import pytest
 
+from repro.sim.calendar import CalendarSimulator
 from repro.sim.kernel import Event, SimulationError, Simulator, Ticker, quiesce
+from repro.sim.profile import DispatchProfile
 
 
 def test_events_fire_in_time_order():
@@ -148,3 +152,128 @@ def test_max_events_bound():
         sim.schedule(i, lambda: None)
     sim.run(max_events=3)
     assert sim.events_dispatched == 3
+
+
+# ----------------------------------------------------------------------
+# step() alignment with run() — both kernel cores (PR 8)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(params=[Simulator, CalendarSimulator],
+                ids=["heap", "calendar"])
+def any_core(request):
+    return request.param()
+
+
+def _inject_raw(sim, event: Event) -> None:
+    """White-box: smuggle an event past schedule()'s past-guard, straight
+    into the core's ready structure."""
+    if isinstance(sim, CalendarSimulator):
+        sim._lane.append(event)
+        sim._count += 1
+    else:
+        heapq.heappush(sim._queue, (event.when, event.seq, event))
+
+
+def test_step_applies_backwards_time_guard(any_core):
+    sim = any_core
+    sim.schedule(10, lambda: None)
+    sim.run()
+    assert sim.now == 10
+    _inject_raw(sim, Event(5, 10**9, lambda: None))
+    with pytest.raises(SimulationError, match="backwards"):
+        sim.step()
+
+
+def test_step_records_tracer_timing(any_core):
+    sim = any_core
+    tracer = DispatchProfile()
+    sim.tracer = tracer
+    sim.schedule(1, lambda: None, label="alpha")
+    sim.schedule(2, lambda: None, label="beta")
+    assert sim.step() and sim.step() and not sim.step()
+    assert tracer.counts == {"alpha": 1, "beta": 1}
+    assert all(s >= 0.0 for s in tracer.seconds.values())
+
+
+def test_step_run_interleaving_equivalent(any_core):
+    """Stepping partway then running must complete the same schedule a
+    single run() would."""
+    sim = any_core
+    order = []
+    for i in range(6):
+        sim.schedule(i * 3 + 1, lambda i=i: order.append(i))
+    for _ in range(3):
+        assert sim.step()
+    sim.run()
+    assert order == list(range(6))
+
+
+def test_ticker_zero_phase_first_fires_one_period_out(any_core):
+    """phase=0 means "aligned to the period", not "fire immediately":
+    started at cycle 50, a period-100 ticker first fires at 150."""
+    sim = any_core
+    sim.schedule(50, lambda: None)
+    sim.run()
+    times = []
+    ticker = Ticker(sim, period=100, callback=lambda i: times.append(sim.now))
+    ticker.start()
+    sim.run(limit=400)
+    assert times == [150, 250, 350]
+    assert ticker.ticks == 3
+
+
+def test_ticker_phase_overrides_first_fire_only(any_core):
+    sim = any_core
+    sim.schedule(50, lambda: None)
+    sim.run()
+    times = []
+    ticker = Ticker(sim, period=100, phase=5,
+                    callback=lambda i: times.append(sim.now))
+    ticker.start()
+    sim.run(limit=300)
+    assert times == [55, 155, 255]  # now+phase, then strict periods
+
+
+def test_ticker_stop_inside_callback(any_core):
+    sim = any_core
+    ticks = []
+
+    def on_tick(i):
+        ticks.append(i)
+        if i == 2:
+            ticker.stop()
+
+    ticker = Ticker(sim, period=10, callback=on_tick)
+    ticker.start()
+    sim.run(limit=1_000)
+    assert ticks == [0, 1, 2]
+    assert sim.pending() == 0
+
+
+def test_quiesce_true_at_entry_dispatches_nothing(any_core):
+    sim = any_core
+    sim.schedule(100, lambda: None)
+    assert quiesce(sim, limit=10_000, check=lambda: True)
+    assert sim.events_dispatched == 0
+    assert sim.now == 0
+    assert sim.pending() == 1
+
+
+def test_quiesce_queue_drains_before_limit(any_core):
+    """Once the queue is empty nothing can flip the condition: quiesce
+    must return its final answer without spinning to the limit."""
+    sim = any_core
+    state = {"done": False}
+    sim.schedule(30, lambda: state.update(done=True))
+    assert quiesce(sim, limit=10**9, check=lambda: state["done"], step=100)
+    # And the failing flavour: drained, condition still false.
+    sim2 = type(sim)()
+    sim2.schedule(30, lambda: None)
+    assert not quiesce(sim2, limit=10**9, check=lambda: False, step=100)
+
+
+def test_quiesce_condition_flips_exactly_at_limit(any_core):
+    sim = any_core
+    state = {"done": False}
+    sim.schedule(500, lambda: state.update(done=True))
+    assert quiesce(sim, limit=500, check=lambda: state["done"], step=100)
