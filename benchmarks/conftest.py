@@ -59,6 +59,22 @@ class BenchProfile:
             max_cycles=self.max_cycles,
         ).with_(**changes)
 
+    def runner(self, store=None, progress=None):
+        """A Runner wired for measurement campaigns.
+
+        Benchmarks must be the measurement, not the recovery drill:
+        retries are disabled (a failing cell should fail the bench
+        loudly, and retry wall-time would pollute the timing) and the
+        backend comes from ``REPRO_BENCH_BACKEND`` (default ``auto``) so
+        the campaign fabric's backends can be A/B-timed without editing
+        the benches.
+        """
+        from repro.experiments import Runner
+
+        backend = os.environ.get("REPRO_BENCH_BACKEND", "auto")
+        return Runner(jobs=self.jobs, store=store, progress=progress,
+                      backend=backend, retries=0)
+
 
 def smoke_mode() -> bool:
     """CI smoke: shrink hot-path benchmark iteration counts to seconds.

@@ -27,7 +27,6 @@ from repro.analysis import (
     extrapolate_transient_overhead,
     normalized_performance,
 )
-from repro.experiments import Runner
 from repro.workloads import WORKLOAD_NAMES
 
 from benchmarks.conftest import run_once
@@ -80,7 +79,7 @@ def test_fig5_performance_evaluation(benchmark, profile):
         campaign = {name: bar_specs(name, profile) for name in WORKLOAD_NAMES}
         flat = [spec for bars in campaign.values()
                 for specs in bars.values() for spec in specs]
-        records = iter(Runner(jobs=profile.jobs).run(flat))
+        records = iter(profile.runner().run(flat))
         out = {}
         for name, bars in campaign.items():
             results = {

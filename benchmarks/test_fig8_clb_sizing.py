@@ -13,7 +13,7 @@ backpressure diagnostics ride along in each record's harvested metrics.
 """
 
 from repro.analysis import format_table
-from repro.experiments import Runner, Sweep
+from repro.experiments import Sweep
 from repro.workloads import WORKLOAD_NAMES
 
 from benchmarks.conftest import run_once
@@ -57,7 +57,7 @@ def test_fig8_performance_vs_clb_size(benchmark, profile):
     def experiment():
         sweep = sweep_specs(profile)
         specs = sweep.expand()
-        records = Runner(jobs=profile.jobs).run(specs)
+        records = profile.runner().run(specs)
         by_cell = {(r.spec.workload, r.spec.clb_bytes): r for r in records}
         return {
             name: {label: by_cell[(name, size)]

@@ -11,6 +11,9 @@ Usage (installed as ``python -m repro`` or the ``repro`` console script):
         --seeds 3 --out shapes.jsonl              # machine-shape campaign
     python -m repro sweep --status --out results.jsonl   # campaign progress
     python -m repro sweep --gc --out results.jsonl       # drop unmanifested
+    python -m repro sweep --backend filequeue --jobs 2 --retries 3 \\
+        --cell-timeout 300 --out results.jsonl    # fault-tolerant fabric
+    python -m repro worker --store results.jsonl  # join as elastic worker
     python -m repro run --workload oltp --torus 4x8      # one 32-node run
     python -m repro profile --workload jbb    # where do dispatches/time go?
     python -m repro trace --fault transient --out trace.json \\
@@ -36,6 +39,8 @@ from typing import List, Optional
 from repro.analysis import format_table
 from repro.config import SystemConfig, parse_shape
 from repro.experiments import (
+    BACKEND_NAMES,
+    AttemptJournal,
     CampaignManifest,
     ResultStore,
     Runner,
@@ -44,9 +49,12 @@ from repro.experiments import (
     aggregate,
     aggregate_telemetry,
     build_machine,
+    list_shards,
+    run_worker,
     summary_rows,
     varied_keys,
 )
+from repro.obs import fabric_summary, load_fabric_events
 from repro.system.machine import Machine
 from repro.workloads import WORKLOAD_NAMES, by_name, workload_character
 
@@ -127,6 +135,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compact the --out store: drop records no "
                             "manifest campaign accounts for (reports what "
                             "was dropped; runs nothing)")
+    sweep.add_argument("--backend", default="auto", choices=BACKEND_NAMES,
+                       help="executor backend: auto (pool if --jobs > 1), "
+                            "serial, pool, or filequeue (lease-file "
+                            "coordination; supports external 'repro "
+                            "worker' processes)")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="re-attempts per cell before quarantining it "
+                            "as a failed record (0 = fail fast)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per cell; a cell past it "
+                            "is killed and retried/quarantined")
+    sweep.add_argument("--lease-ttl", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="heartbeat age after which a cell lease is "
+                            "considered abandoned and requeued")
+    sweep.add_argument("--retry-failed", action="store_true",
+                       help="re-attempt cells the store already holds as "
+                            "quarantined failures")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a filequeue campaign as an elastic worker",
+        description="Claim and execute cells from an existing campaign's "
+                    "attempt journal (created by 'repro sweep --backend "
+                    "filequeue --out STORE').  Results land in a private "
+                    "shard next to the store; the coordinating sweep (or "
+                    "the next one) merges shards in.  Start and stop any "
+                    "number of workers at any time — abandoned leases "
+                    "expire and are re-claimed.")
+    worker.add_argument("--store", required=True,
+                        help="the campaign's JSONL store (its .journal "
+                             "directory must exist)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable identity for leases and the result "
+                             "shard (default: <host>-<pid>)")
+    worker.add_argument("--retries", type=int, default=2)
+    worker.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS")
+    worker.add_argument("--lease-ttl", type=float, default=60.0,
+                        metavar="SECONDS")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after executing this many cells")
 
     prof = sub.add_parser(
         "profile",
@@ -347,6 +398,54 @@ def cmd_sweep_status(args, out) -> int:
             ("unmanifested runs", len(orphans)),
             ("unmanifested cells", len(orphan_cells)),
         ]
+    journal = AttemptJournal.for_store(args.out)
+    quarantined_rows = []
+    lease_rows = []
+    if journal.exists():
+        counts = journal.counts()
+        rows.append(("journal",
+                     f"{counts['pending']} pending, {counts['leased']} "
+                     f"leased, {counts['quarantined']} quarantined"))
+        summary = fabric_summary(load_fabric_events(args.out))
+        if summary["events"]:
+            rows.append(
+                ("fabric events",
+                 f"{summary['claims']} claims, {summary['completes']} "
+                 f"completes, {summary['fails']} fails, "
+                 f"{summary['requeues']} requeues, "
+                 f"{summary['quarantines']} quarantines"))
+            if summary["workers"]:
+                rows.append(("workers seen",
+                             f"{len(summary['workers'])} "
+                             f"({', '.join(summary['workers'][:4])}"
+                             + (", ..." if len(summary["workers"]) > 4
+                                else "") + ")"))
+            if summary["chaos_events"]:
+                rows.append(("chaos injections", summary["chaos_events"]))
+            if summary["max_attempts"] > 1:
+                rows.append(
+                    ("worst retry pressure",
+                     f"{summary['max_attempts']} attempts on "
+                     f"{summary['max_attempts_hash']}"))
+        for entry in journal.entries("leased"):
+            lease_rows.append(
+                f"  leased {entry.get('spec_hash', '?')} by "
+                f"{entry.get('worker', '?')}: attempt "
+                f"{entry.get('attempts', '?')}, heartbeat "
+                f"{entry.get('heartbeat_age_s', 0.0):.1f}s ago")
+        for entry in journal.entries("quarantined"):
+            quarantined_rows.append(
+                f"  quarantined {entry.get('spec_hash', '?')}: "
+                f"{entry.get('error', '?')} after "
+                f"{entry.get('attempts', '?')} attempt(s)")
+    failed_in_store = sum(1 for r in records if r.failed)
+    if failed_in_store:
+        rows.append(("quarantined records",
+                     f"{failed_in_store} (re-attempt with --retry-failed)"))
+    shards = list_shards(args.out)
+    if shards:
+        rows.append(("unmerged shards",
+                     f"{len(shards)} (merged by the next sweep run)"))
     for key in axes:
         values = {c.cell.get(key) for c in cells}
         # Absent optional fields (e.g. shape axes on pre-shape records)
@@ -381,6 +480,8 @@ def cmd_sweep_status(args, out) -> int:
         ]
     print(format_table(["field", "value"], rows,
                        title="campaign status"), file=out)
+    for line in lease_rows + quarantined_rows:
+        print(line, file=out)
     return 0
 
 
@@ -434,25 +535,58 @@ def cmd_sweep(args, out) -> int:
     try:
         if args.jobs < 1:
             raise ValueError("--jobs must be >= 1")
+        if args.backend == "filequeue" and not args.out:
+            raise ValueError("--backend filequeue needs --out (leases and "
+                             "shards live next to the store)")
         sweep = Sweep(base=_spec_from_args(args), grid=grid, seeds=args.seeds)
         specs = sweep.expand()
     except (ValueError, TypeError) as exc:
         print(f"bad sweep: {exc}", file=out)
         return 1
     print(f"campaign: {sweep.cells()} cells x {len(sweep.seed_list())} seeds "
-          f"= {len(specs)} runs, jobs={args.jobs}"
+          f"= {len(specs)} runs, jobs={args.jobs}, backend={args.backend}"
           + (f", store={args.out}" if args.out else ""), file=out)
     store = ResultStore(args.out) if args.out else None
     if store is not None:
         # Record the campaign definition next to the store before running:
         # an interrupted sweep still leaves an auditable manifest.
-        CampaignManifest.record(args.out, sweep)
+        CampaignManifest.record(args.out, sweep, fabric={
+            "backend": args.backend,
+            "retries": args.retries,
+            "cell_timeout": args.cell_timeout,
+            "lease_ttl": args.lease_ttl,
+            "jobs": args.jobs,
+        })
     runner = Runner(jobs=args.jobs, store=store,
-                    progress=lambda line: print(line, file=out))
-    records = runner.run(specs)
+                    progress=lambda line: print(line, file=out),
+                    backend=args.backend, retries=args.retries,
+                    cell_timeout=args.cell_timeout,
+                    lease_ttl=args.lease_ttl,
+                    retry_failed=args.retry_failed)
+    try:
+        records = runner.run(specs)
+    except KeyboardInterrupt:
+        # Leases were released and partial results flushed on the way
+        # out; the campaign is checkpointed, not lost.
+        print("\ninterrupted — partial results are safe.", file=out)
+        if args.out:
+            print(f"resume with: repro sweep ... --out {args.out} "
+                  f"(completed cells are skipped)", file=out)
+        return 130
     print(f"executed {runner.executed} runs, reused {runner.skipped} from "
           "the store" if store else f"executed {runner.executed} runs",
           file=out)
+    quarantined = [r for r in records if r.failed]
+    if quarantined:
+        print(f"{len(quarantined)} cell(s) quarantined after exhausting "
+              "retries:", file=out)
+        for record in quarantined[:10]:
+            failure = record.failure or {}
+            print(f"  {record.spec_hash} {record.spec.label()}: "
+                  f"{failure.get('error', '?')} "
+                  f"({failure.get('attempts', '?')} attempts)", file=out)
+        if len(quarantined) > 10:
+            print(f"  ... and {len(quarantined) - 10} more", file=out)
     header, rows = summary_rows(aggregate(records), metric=args.metric)
     print(format_table(header, rows,
                        title=f"sweep summary ({args.metric})"), file=out)
@@ -460,6 +594,33 @@ def cmd_sweep(args, out) -> int:
     if unexpected:
         print(f"{unexpected} protected runs crashed", file=out)
         return 1
+    return 1 if quarantined else 0
+
+
+def cmd_worker(args, out) -> int:
+    """Elastic worker: drain a filequeue campaign's attempt journal."""
+    journal = AttemptJournal.for_store(args.store)
+    if not journal.exists():
+        print(f"no attempt journal at {journal.root}; start the campaign "
+              "first with: repro sweep --backend filequeue --out "
+              f"{args.store} ...", file=out)
+        return 1
+    try:
+        executed = run_worker(
+            args.store,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            max_cells=args.max_cells,
+            progress=lambda line: print(line, file=out),
+        )
+    except KeyboardInterrupt:
+        print("\nworker interrupted — lease released; the cell will be "
+              "re-claimed.", file=out)
+        return 130
+    print(f"worker done: {executed} cell(s) executed, journal "
+          f"{journal.counts()}", file=out)
     return 0
 
 
@@ -713,6 +874,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "sweep":
         return cmd_sweep(args, out)
+    if args.command == "worker":
+        return cmd_worker(args, out)
     if args.command == "profile":
         return cmd_profile(args, out)
     if args.command == "trace":

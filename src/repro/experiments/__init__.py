@@ -8,10 +8,22 @@ instead of a hand-rolled loop:
 * :mod:`~repro.experiments.spec` — :class:`RunSpec` (one hashable run)
   and :class:`Sweep` (grid expansion);
 * :mod:`~repro.experiments.runner` — :func:`execute_run` (spec ->
-  :class:`RunRecord`) and :class:`Runner` (process-pool fan-out with a
-  serial fallback);
+  :class:`RunRecord`) and :class:`Runner` (campaign orchestration:
+  resume, retries, quarantine);
+* :mod:`~repro.experiments.backends` — pluggable executor backends
+  (``serial`` / ``pool`` / ``filequeue``) behind a registry, plus the
+  guarded-cell harness (:func:`run_cell_guarded`) and the elastic
+  :func:`run_worker` loop;
+* :mod:`~repro.experiments.journal` — :class:`AttemptJournal`, the
+  durable per-cell lease/attempt state that makes crashed campaigns
+  recoverable with exactly-once completion;
+* :mod:`~repro.experiments.chaos` — :class:`ChaosConfig` fault
+  injection (worker kills, heartbeat stalls, torn store writes) for
+  rehearsing every recovery path, driven by the ``REPRO_CHAOS`` env;
 * :mod:`~repro.experiments.store` — :class:`ResultStore`, an append-only
-  JSONL journal keyed by spec hash that makes campaigns resumable;
+  JSONL journal keyed by spec hash that makes campaigns resumable and
+  serves as the fabric's exactly-once commit point (worker shards merge
+  into it by spec hash);
 * :mod:`~repro.experiments.manifest` — :class:`CampaignManifest`, the
   ``<store>.manifest.json`` record of every campaign's expanded grid and
   hashes (store auditing: orphan records, pending runs);
@@ -37,6 +49,26 @@ Or from the command line::
         --seeds 3 --jobs 4 --out results.jsonl
 """
 
+from repro.experiments.backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    CellCrashed,
+    CellError,
+    CellFailure,
+    CellTimeout,
+    ExecutorBackend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    run_cell_guarded,
+    run_worker,
+)
+from repro.experiments.chaos import CHAOS_ENV, ChaosConfig, ChaosTornWrite
+from repro.experiments.journal import (
+    AttemptJournal,
+    default_worker_id,
+    journal_path,
+)
 from repro.experiments.aggregate import (
     CellSummary,
     MetricSummary,
@@ -59,9 +91,29 @@ from repro.experiments.runner import (
     execute_run,
 )
 from repro.experiments.spec import RunSpec, Sweep
-from repro.experiments.store import ResultStore
+from repro.experiments.store import ResultStore, list_shards, shard_path
 
 __all__ = [
+    "AttemptJournal",
+    "BACKEND_NAMES",
+    "BACKENDS",
+    "CHAOS_ENV",
+    "CellCrashed",
+    "CellError",
+    "CellFailure",
+    "CellTimeout",
+    "ChaosConfig",
+    "ChaosTornWrite",
+    "ExecutorBackend",
+    "default_worker_id",
+    "get_backend",
+    "journal_path",
+    "list_shards",
+    "register_backend",
+    "resolve_backend",
+    "run_cell_guarded",
+    "run_worker",
+    "shard_path",
     "CampaignEntry",
     "CampaignManifest",
     "manifest_path",

@@ -113,6 +113,10 @@ def aggregate(
         metrics.update(extra)
     grouped: Dict[str, List[RunRecord]] = {}
     for record in records:
+        # Quarantined cells carry no measurements — folding their zeroed
+        # fields into means would silently skew every metric.
+        if getattr(record, "failed", False):
+            continue
         grouped.setdefault(record.spec.cell_hash, []).append(record)
     out: List[CellSummary] = []
     for cell_hash, group in grouped.items():

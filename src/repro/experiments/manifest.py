@@ -59,6 +59,11 @@ class CampaignEntry:
     shapes: List[str]                    # distinct "WxH" machine shapes
     spec_hashes: List[str]
     cell_hashes: List[str]
+    #: How the campaign was last *executed* (backend, retries, cell
+    #: timeout, lease TTL) — audit metadata, deliberately excluded from
+    #: ``campaign_hash``: re-running the same grid on another backend
+    #: updates this block in place rather than forking the campaign.
+    fabric: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_sweep(cls, sweep: Sweep) -> "CampaignEntry":
@@ -89,7 +94,7 @@ class CampaignEntry:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "campaign_hash": self.campaign_hash,
             "base": self.base,
             "grid": self.grid,
@@ -98,6 +103,9 @@ class CampaignEntry:
             "spec_hashes": self.spec_hashes,
             "cell_hashes": self.cell_hashes,
         }
+        if self.fabric is not None:
+            out["fabric"] = self.fabric
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignEntry":
@@ -109,6 +117,7 @@ class CampaignEntry:
             shapes=list(data.get("shapes", [])),
             spec_hashes=list(data["spec_hashes"]),
             cell_hashes=list(data.get("cell_hashes", [])),
+            fabric=dict(data["fabric"]) if data.get("fabric") else None,
         )
 
 
@@ -135,13 +144,17 @@ class CampaignManifest:
         )
 
     @classmethod
-    def record(cls, store_path: str, sweep: Sweep) -> "CampaignManifest":
+    def record(cls, store_path: str, sweep: Sweep,
+               fabric: Optional[Dict[str, Any]] = None) -> "CampaignManifest":
         """Merge ``sweep`` into the store's manifest and write it out."""
         manifest = cls.load(store_path) or cls(path=manifest_path(store_path))
         entry = CampaignEntry.from_sweep(sweep)
+        entry.fabric = fabric
         replaced = False
         for i, existing in enumerate(manifest.campaigns):
             if existing.campaign_hash == entry.campaign_hash:
+                if entry.fabric is None:
+                    entry.fabric = existing.fabric
                 manifest.campaigns[i] = entry
                 replaced = True
                 break

@@ -1,21 +1,27 @@
-"""Campaign execution: build a machine from a spec, run it, in parallel.
+"""Campaign execution: build a machine from a spec, run it, fault-tolerantly.
 
 :func:`execute_run` is the pure worker — ``RunSpec`` in,
-:class:`RunRecord` out — used identically by the serial path, the
-process-pool path, and any future remote backend.  :class:`Runner`
-orchestrates a list of specs: it consults the
+:class:`RunRecord` out — used identically by every executor backend.
+:class:`Runner` owns campaign *policy*: it consults the
 :class:`~repro.experiments.store.ResultStore` to skip already-completed
-runs (resume), fans the rest out over a ``ProcessPoolExecutor``, records
-each result as soon as it lands (an interrupted campaign loses at most
-the runs in flight), and falls back to serial execution wherever process
-pools are unavailable (restricted sandboxes, pickling failures).
+runs (resume), journals in-flight cells in the
+:class:`~repro.experiments.journal.AttemptJournal` (lease, heartbeat,
+attempt count — so a killed worker's cells are re-queued on resume),
+hands the remainder to a pluggable backend from
+:mod:`repro.experiments.backends` (``serial`` / ``pool`` /
+``filequeue``), retries failed cells with exponential backoff, and
+finally *quarantines* them as structured failed records instead of
+aborting the sweep.  Results are recorded the moment each cell lands —
+an interrupted campaign loses at most the runs in flight, and Ctrl-C
+releases leases and keeps everything already persisted.
+
+The pre-fabric runner's behaviour is exactly ``backend="pool",
+retries=0`` — kept as the oracle for equivalence guards.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -109,6 +115,14 @@ class RunRecord:
     #: excluded from ``result_key()``.  Empty on records from stores that
     #: predate the field.
     telemetry: Dict[str, float] = field(default_factory=dict)
+    #: Quarantine outcome: the fabric exhausted the cell's retry budget
+    #: and recorded the failure instead of aborting the campaign.  A
+    #: failed record carries no measurements (``failure`` holds the
+    #: error, traceback, and attempt count) and is excluded from
+    #: aggregation; ``result_key()`` is untouched so equivalence guards
+    #: on healthy sweeps stay byte-stable.
+    failed: bool = False
+    failure: Optional[Dict[str, Any]] = None
 
     RESULT_FIELDS = (
         "cycles", "committed_instructions", "target_instructions",
@@ -146,6 +160,10 @@ class RunRecord:
         out = asdict(self)
         out["spec"] = self.spec.canonical()
         del out["cached"]
+        if not self.failed:
+            # Healthy records serialise exactly as they did before the
+            # fields existed (old tools keep parsing, stores stay lean).
+            del out["failed"], out["failure"]
         return out
 
     @classmethod
@@ -154,6 +172,23 @@ class RunRecord:
         data.pop("cached", None)
         spec = RunSpec.from_dict(data.pop("spec"))
         return cls(spec=spec, **data)
+
+    @classmethod
+    def quarantined(cls, spec: RunSpec, error: str, *,
+                    traceback_text: str = "",
+                    attempts: int = 1) -> "RunRecord":
+        """A structured failed record: what a cell leaves behind when its
+        retry budget is exhausted (graceful degradation to partial
+        results — the campaign records the post-mortem and moves on)."""
+        return cls(
+            spec=spec, spec_hash=spec.spec_hash, cycles=0,
+            committed_instructions=0, target_instructions=0,
+            completed=False, crashed=False, crash_reason=None,
+            recoveries=0, lost_instructions=0, reexecuted_instructions=0,
+            failed=True,
+            failure={"error": error, "traceback": traceback_text,
+                     "attempts": attempts},
+        )
 
 
 def execute_run(spec: RunSpec) -> RunRecord:
@@ -236,19 +271,35 @@ def aggregate_telemetry(records: Sequence[RunRecord]) -> Dict[str, float]:
 
 
 class Runner:
-    """Executes a campaign of specs, resumably and (optionally) in parallel.
+    """Executes a campaign of specs, resumably, fault-tolerantly, and
+    (optionally) in parallel.
 
-    ``jobs=1`` runs in-process; ``jobs>1`` uses a process pool with at
-    most ``jobs`` workers.  Per-run results are identical either way:
-    every run is an isolated deterministic simulation seeded only from
-    its spec.  With a ``store``, completed runs are skipped on re-entry
-    and fresh results are persisted as soon as each run finishes.
+    ``backend`` names an executor from the registry in
+    :mod:`repro.experiments.backends` — ``serial``, ``pool``
+    (``ProcessPoolExecutor`` with ``jobs`` workers), ``filequeue``
+    (elastic directory-queue workers), or ``auto`` (pool when ``jobs >
+    1``).  Per-run results are identical on every backend: each run is
+    an isolated deterministic simulation seeded only from its spec.
 
-    While a parallel campaign has runs in flight, a heartbeat line is
-    emitted through ``progress`` every ``heartbeat_s`` seconds with the
-    done count, the cells currently executing, and the campaign's mean
-    simulation throughput — a multi-hour sweep reports progress instead
-    of silence.  ``heartbeat_s=0`` disables it.
+    Fabric policy, applied by every backend:
+
+    * with a ``store``, completed runs are skipped on re-entry, fresh
+      results are persisted as soon as each run finishes, and in-flight
+      cells are journalled (lease + heartbeat + attempt count) next to
+      the manifest so a killed session's cells re-queue on resume;
+    * a failed attempt is retried up to ``retries`` times with
+      exponential backoff (``backoff_s * 2**(attempt-1)``);
+    * ``cell_timeout`` SIGKILLs a cell exceeding its wall-clock budget
+      (attempts run in a disposable child process when a timeout or
+      chaos policy is set);
+    * when the budget is exhausted the cell is *quarantined* as a
+      structured failed record — the campaign degrades to partial
+      results instead of aborting;
+    * Ctrl-C cancels queued work, persists whatever finished, and
+      releases leases for instant resume.
+
+    While a campaign has runs in flight, a heartbeat line is emitted
+    through ``progress`` every ``heartbeat_s`` seconds (``0`` disables).
     """
 
     def __init__(
@@ -258,17 +309,48 @@ class Runner:
         store=None,
         progress: Optional[Callable[[str], None]] = None,
         heartbeat_s: float = 30.0,
+        backend: str = "auto",
+        retries: int = 2,
+        cell_timeout: Optional[float] = None,
+        backoff_s: float = 0.5,
+        lease_ttl: float = 60.0,
+        chaos=None,
+        retry_failed: bool = False,
     ) -> None:
+        from repro.experiments.backends import resolve_backend
+        from repro.experiments.chaos import ChaosConfig
+
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive seconds")
         self.jobs = jobs
         self.store = store
         self.progress = progress or (lambda line: None)
         self.heartbeat_s = heartbeat_s
+        self.backend = resolve_backend(backend, jobs)
+        self.retries = retries
+        self.cell_timeout = cell_timeout
+        self.backoff_s = backoff_s
+        self.lease_ttl = lease_ttl
+        self.chaos = ChaosConfig.from_env() if chaos is None else chaos
+        self.retry_failed = retry_failed
         self.executed = 0
         self.skipped = 0
+        self.quarantined = 0
+        self.journal = None
         self._finished_records: List[RunRecord] = []
         self._campaign_started = 0.0
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff before re-running a failed attempt."""
+        return min(self.backoff_s * 2 ** (attempt - 1), 30.0)
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -276,6 +358,8 @@ class Runner:
 
         Duplicate specs (same hash) within the campaign execute once.
         """
+        from repro.experiments.backends import BACKENDS
+
         done: Dict[str, RunRecord] = {}
         todo: List[RunSpec] = []
         seen = set()
@@ -285,32 +369,92 @@ class Runner:
                 continue
             seen.add(h)
             cached = self.store.get(h) if self.store is not None else None
-            if cached is not None:
+            if cached is not None and not (cached.failed and
+                                           self.retry_failed):
                 cached.cached = True
                 done[h] = cached
             else:
                 todo.append(spec)
         self.skipped += len(done)
         if done:
+            quarantined = sum(1 for r in done.values() if r.failed)
+            note = f" ({quarantined} quarantined)" if quarantined else ""
             self.progress(f"resume: {len(done)} of {len(specs)} runs already "
-                          "complete, skipping")
+                          f"complete{note}, skipping")
 
         if todo:
-            if self.jobs > 1 and len(todo) > 1:
-                fresh = self._run_parallel(todo)
-            else:
-                fresh = self._run_serial(todo)
+            todo = self._prepare_journal(todo, done)
+        if todo:
+            fresh = BACKENDS[self.backend]().execute(todo, self)
             done.update(fresh)
         return [done[spec.spec_hash] for spec in specs]
 
     # ------------------------------------------------------------------
-    def _finish(self, record: RunRecord, index: int, total: int) -> None:
+    def _prepare_journal(self, todo: List[RunSpec],
+                         done: Dict[str, RunRecord]) -> List[RunSpec]:
+        """Recover journal state and queue this session's cells.
+
+        Stale leases (a killed coordinator or expired worker) flow back
+        to pending; half-committed quarantines (journalled but never
+        recorded) are adopted into the store as failed records; with
+        ``retry_failed`` the quarantine bay is cleared for another try.
+        Returns the cells that still need executing.
+        """
+        from repro.experiments.journal import AttemptJournal
+
+        if self.store is None:
+            return todo
+        self.journal = journal = AttemptJournal.for_store(self.store.path)
+        journal.ensure_dirs()
+        # serial/pool coordinators own every lease in the journal; a
+        # lease found on entry is from a dead session, whatever its age.
+        # filequeue shares the journal with live peers, so only TTL-
+        # expired leases are reaped (workers re-reap continuously).
+        reaped = journal.requeue_expired(
+            0.0 if self.backend != "filequeue" else self.lease_ttl)
+        if reaped:
+            self.progress(f"recovered {len(reaped)} in-flight cell(s) "
+                          "from expired leases; re-queued")
+        if self.retry_failed:
+            cleared = journal.clear_quarantined()
+            if cleared:
+                self.progress(f"retry-failed: re-queued {len(cleared)} "
+                              "quarantined cell(s)")
+        else:
+            adopted = {e["spec_hash"]: e
+                       for e in journal.entries("quarantined")}
+            for spec in todo:
+                entry = adopted.get(spec.spec_hash)
+                if entry is None:
+                    continue
+                # Quarantined in the journal but never committed (the
+                # session died between the two): adopt the post-mortem
+                # into the store so the campaign converges.
+                record = RunRecord.quarantined(
+                    spec, str(entry.get("error", "quarantined")),
+                    traceback_text=str(entry.get("traceback", "")),
+                    attempts=int(entry.get("attempts", 0)))
+                done[spec.spec_hash] = record
+                self._finish(record, len(done), len(todo))
+            todo = [s for s in todo if s.spec_hash not in done]
+        journal.seed(todo)
+        return todo
+
+    # ------------------------------------------------------------------
+    def _finish(self, record: RunRecord, index: int, total: int,
+                *, persist: bool = True) -> None:
         self.executed += 1
+        if record.failed:
+            self.quarantined += 1
         self._finished_records.append(record)
-        if self.store is not None:
+        if persist and self.store is not None:
             self.store.append(record)
-        state = "CRASH" if record.crashed else (
-            "ok" if record.completed else "cut off")
+        if record.failed:
+            state = "QUARANTINED"
+        elif record.crashed:
+            state = "CRASH"
+        else:
+            state = "ok" if record.completed else "cut off"
         spec = record.spec
         extras = ""
         if spec.clb_bytes is not None:
@@ -325,65 +469,6 @@ class Runner:
             f"({record.cycles:,} cycles, {record.elapsed_s:.1f}s)"
         )
 
-    def _run_serial(self, specs: List[RunSpec]) -> Dict[str, RunRecord]:
-        out: Dict[str, RunRecord] = {}
-        for i, spec in enumerate(specs, 1):
-            record = execute_run(spec)
-            out[spec.spec_hash] = record
-            self._finish(record, i, len(specs))
-        return out
-
-    def _run_parallel(self, specs: List[RunSpec]) -> Dict[str, RunRecord]:
-        # Only pool-infrastructure failures degrade to serial execution;
-        # an exception raised by a run itself (or by the store) is a real
-        # error and propagates rather than silently re-running everything.
-        try:
-            pool = ProcessPoolExecutor(max_workers=self.jobs)
-        except (OSError, PermissionError, ValueError) as exc:
-            self.progress(f"process pool unavailable ({exc!r}); "
-                          "falling back to serial execution")
-            return self._run_serial(specs)
-        out: Dict[str, RunRecord] = {}
-        total = len(specs)
-        self._campaign_started = time.perf_counter()
-        timeout = self.heartbeat_s if self.heartbeat_s > 0 else None
-        try:
-            with pool:
-                pending = {pool.submit(execute_run, spec): spec
-                           for spec in specs}
-                while pending:
-                    finished, _ = wait(pending, timeout=timeout,
-                                       return_when=FIRST_COMPLETED)
-                    if not finished:
-                        self._heartbeat(pending, done=len(out), total=total)
-                        continue
-                    for future in finished:
-                        spec = pending.pop(future)
-                        try:
-                            record = future.result()
-                        except BrokenProcessPool:
-                            raise
-                        except Exception:
-                            # A run itself failed: persist what already
-                            # completed and stop submitting, instead of
-                            # blocking on the whole queue and losing it.
-                            self.progress(
-                                f"run {spec.workload} seed={spec.seed} "
-                                "raised; cancelling queued runs")
-                            pool.shutdown(wait=False, cancel_futures=True)
-                            self._harvest_finished(pending, out, total)
-                            raise
-                        out[spec.spec_hash] = record
-                        self._finish(record, len(out), total)
-        except BrokenProcessPool as exc:
-            # Workers died underneath us (fork limits, OOM kills);
-            # finish the remaining runs in-process.
-            self.progress(f"process pool broke ({exc!r}); "
-                          "falling back to serial execution")
-            remaining = [s for s in specs if s.spec_hash not in out]
-            out.update(self._run_serial(remaining))
-        return out
-
     def _heartbeat(self, pending, *, done: int, total: int) -> None:
         """One liveness line while nothing has finished for a while.
 
@@ -394,7 +479,8 @@ class Runner:
         """
         elapsed = time.perf_counter() - self._campaign_started
         in_flight = sorted(
-            f"{spec.workload}/s{spec.seed}" for spec in pending.values())
+            (entry[0] if isinstance(entry, tuple) else entry).label()
+            for entry in pending.values())
         shown = ", ".join(in_flight[:3])
         if len(in_flight) > 3:
             shown += f", +{len(in_flight) - 3} more"
@@ -404,25 +490,3 @@ class Runner:
         self.progress(
             f"heartbeat: {done}/{total} done, {len(pending)} in flight "
             f"({shown}), {elapsed:.0f}s elapsed{rate_txt}")
-
-    def _harvest_finished(self, pending, out: Dict[str, RunRecord],
-                          total: int) -> None:
-        """Record runs that completed before an error aborted the campaign
-        (their results would otherwise be discarded and re-executed).
-
-        Queued futures were cancelled by the caller; the at-most-``jobs``
-        runs still in flight are waited for (they finish anyway before the
-        pool can shut down) so their work is persisted as well.
-        """
-        live = [f for f in pending if not f.cancelled()]
-        if live:
-            wait(live)
-        for future, spec in pending.items():
-            if not future.done() or future.cancelled():
-                continue
-            try:
-                record = future.result()
-            except Exception:
-                continue
-            out[spec.spec_hash] = record
-            self._finish(record, len(out), total)

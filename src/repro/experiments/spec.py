@@ -157,6 +157,14 @@ class RunSpec:
         blob = json.dumps(self.cell(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
+    def label(self) -> str:
+        """Compact human handle (``jbb/s3@4x8``) for progress lines,
+        lease listings, and quarantine reports — identity stays with
+        :attr:`spec_hash`; this is for eyes only."""
+        shape = (f"@{self.torus_width}x{self.torus_height}"
+                 if self.torus_width is not None else "")
+        return f"{self.workload}/s{self.seed}{shape}"
+
     def with_(self, **changes) -> "RunSpec":
         """Functional update (``dataclasses.replace`` with alias support)."""
         for alias, expand in _GRID_ALIASES.items():

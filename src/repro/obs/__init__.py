@@ -18,7 +18,11 @@ and the rollback at cycle 55k?" — this package can:
   outstanding transactions, and deadline-table population;
 * :mod:`~repro.obs.timeline` — the per-epoch availability timeline
   (edge cycle, sign-off lag) and recovery-episode extraction that powers
-  the ROADMAP recovery-latency / validation fan-in science.
+  the ROADMAP recovery-latency / validation fan-in science;
+* :mod:`~repro.obs.fabric` — the campaign fabric's flight recorder:
+  parse ``<store>.journal/events.jsonl`` (lease claims, requeues,
+  quarantines, chaos injections) and summarise campaign health for
+  ``repro sweep --status``.
 
 Everything here is observation only: a :class:`TraceLog` never schedules
 kernel events and never touches RNG state, so a traced run is
@@ -28,6 +32,7 @@ bit-identical to an untraced one, and the tracer-off path costs nothing
 subcommand drives all three pieces on one run.
 """
 
+from repro.obs.fabric import FABRIC_EVENTS, fabric_summary, load_fabric_events
 from repro.obs.sampler import SAMPLE_FIELDS, Sampler
 from repro.obs.timeline import (
     availability_timeline,
@@ -65,6 +70,9 @@ __all__ = [
     "write_chrome_trace",
     "Sampler",
     "SAMPLE_FIELDS",
+    "FABRIC_EVENTS",
+    "fabric_summary",
+    "load_fabric_events",
     "availability_timeline",
     "recovery_episodes",
     "timeline_summary",

@@ -83,7 +83,8 @@ def test_sweep_writes_manifest_and_status_audits_it(tmp_path):
             "--out", store]
     code, _ = run_cli(args)
     assert code == 0
-    data = json.loads(open(manifest_path(store)).read())
+    with open(manifest_path(store), encoding="utf-8") as fh:
+        data = json.load(fh)
     assert data["version"] == 1
     assert len(data["campaigns"]) == 1
     assert data["campaigns"][0]["shapes"] == ["2x2"]

@@ -165,6 +165,89 @@ def test_store_tolerates_torn_final_line(tmp_path):
     assert sealed.get(record2.spec_hash).result_key() == record2.result_key()
 
 
+def test_store_duplicate_hash_rows_newest_wins(tmp_path):
+    # Crash recovery can legitimately re-execute a cell (the lease
+    # expired but the worker had already appended): the store must read
+    # duplicate spec-hash rows as "newest wins", matching append order.
+    path = str(tmp_path / "results.jsonl")
+    record = execute_run(TINY)
+    stale = json.loads(json.dumps(record.to_dict()))
+    stale["cycles"] = 1              # an older, superseded line
+    with open(path, "w") as fh:
+        fh.write(json.dumps(stale, sort_keys=True) + "\n")
+        fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    store = ResultStore(path)
+    assert len(store) == 1
+    assert store.get(TINY.spec_hash).cycles == record.cycles
+    # compact() squeezes the duplicate line out of the file.
+    store.compact([TINY.spec_hash])
+    with open(path) as fh:
+        assert len(fh.readlines()) == 1
+    assert ResultStore(path).get(TINY.spec_hash).cycles == record.cycles
+
+
+def test_store_append_torn_models_mid_write_death(tmp_path):
+    # append_torn is the chaos harness's crash model: a prefix of the
+    # line, no newline, record not registered — the loader must count it
+    # malformed and the next append must seal it.
+    path = str(tmp_path / "results.jsonl")
+    store = ResultStore(path)
+    lost = execute_run(TINY)
+    store.append_torn(lost)
+    assert store.malformed_lines == 1
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 0 and reloaded.malformed_lines == 1
+    survivor = execute_run(TINY.with_(seed=2))
+    reloaded.append(survivor)
+    sealed = ResultStore(path)
+    assert len(sealed) == 1
+    assert sealed.get(survivor.spec_hash).result_key() == \
+        survivor.result_key()
+
+
+def _shard_worker_main(store_path, worker_id, seeds):
+    # Child-process body for the two-writer shard test (module-level for
+    # picklability under any start method).
+    from repro.experiments import shard_path
+
+    shard = ResultStore(shard_path(store_path, worker_id))
+    for seed in seeds:
+        shard.append(execute_run(TINY.with_(seed=seed)))
+
+
+def test_two_processes_shard_then_merge_by_manifest_hash(tmp_path):
+    # The filequeue commit path, end to end with real processes: two
+    # workers append to private shards concurrently (no write contention
+    # on the main store), then the coordinator folds the shards in,
+    # keeping only manifest-accounted hashes.
+    import multiprocessing
+
+    from repro.experiments import CampaignManifest, list_shards
+
+    path = str(tmp_path / "results.jsonl")
+    sweep = Sweep(base=TINY, seeds=[1, 2, 3])      # seed 4 is unmanifested
+    manifest = CampaignManifest.record(path, sweep)
+    ctx = multiprocessing.get_context("fork")
+    workers = [
+        ctx.Process(target=_shard_worker_main, args=(path, "w0", [1, 2])),
+        ctx.Process(target=_shard_worker_main, args=(path, "w1", [2, 3, 4])),
+    ]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+    assert len(list_shards(path)) == 2
+    store = ResultStore(path)
+    stats = store.merge_shards(manifest.spec_hashes())
+    assert stats["shards"] == 2
+    assert stats["merged"] == 3          # seeds 1..3, deduped
+    assert stats["duplicates"] == 1      # seed 2 ran on both workers
+    assert stats["dropped"] == 1         # seed 4: no campaign accounts for it
+    assert list_shards(path) == []       # merged shards are consumed
+    assert {r.spec.seed for r in ResultStore(path)} == {1, 2, 3}
+
+
 def test_serial_and_parallel_runs_agree():
     specs = _tiny_specs()
     serial = Runner(jobs=1).run(specs)
