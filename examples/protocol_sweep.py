@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Is SafetyNet's cost protocol-robust?  (Fig. 5 logic, new axes.)
+
+The paper's Fig. 5 shows SafetyNet running at full speed on one MOSI
+directory protocol.  With protocols and arbitration as sweep axes, the
+same question generalises: does the checkpoint/recovery machinery stay
+cheap when the memory system underneath changes?  This sweeps
+protocol x arbiter cells on 4x4 (and optionally 4x8) tori, fault-free
+for the performance half and under a transient fault for the
+recovery-cost half, then reports:
+
+* cycles per cell — mesi/moesi should *beat* mosi on store-heavy mixes
+  (silent E->M upgrades replace 3-hop GETM round-trips), and the
+  arbiter should only shuffle cycles slightly;
+* recovery cost — recoveries taken and instructions re-executed, which
+  should stay in one regime across protocols (checkpoint participants
+  are protocol-agnostic, so rollback does the same work under each).
+
+Equivalent CLI:
+
+    repro sweep --grid protocol=mosi,mesi,moesi --grid arbiter=fifo,wrr \\
+        --seeds 3 --out protocols.jsonl
+
+Run:  python examples/protocol_sweep.py [--jobs 4] [--big] [--out p.jsonl]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.experiments import ResultStore, Runner, RunSpec, Sweep, aggregate
+
+PROTOCOLS = ["mosi", "mesi", "moesi"]
+ARBITERS = ["fifo", "wrr"]
+
+
+def run_half(base: RunSpec, args, store) -> list:
+    sweep = Sweep(
+        base=base,
+        grid={"protocol": PROTOCOLS, "arbiter": ARBITERS,
+              "torus": ["4x4", "4x8"] if args.big else ["4x4"]},
+        seeds=args.seeds,
+    )
+    runner = Runner(jobs=args.jobs, store=store, progress=print)
+    return runner.run(sweep.expand())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--out", default=None,
+                        help="JSONL store; makes the sweep resumable")
+    parser.add_argument("--instructions", type=int, default=2_000,
+                        help="measured instructions per CPU")
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--big", action="store_true",
+                        help="add the 4x8 shape (twice the cells)")
+    args = parser.parse_args()
+    store = ResultStore(args.out) if args.out else None
+
+    base = RunSpec(instructions=args.instructions, scale=64,
+                   max_cycles=10_000_000)
+    perf = run_half(base, args, store)
+    faulted = run_half(
+        base.with_(fault="transient", fault_period=60_000, fault_at=9_000),
+        args, store)
+
+    def shape(cell):
+        return f"{cell.cell['torus_width']}x{cell.cell['torus_height']}"
+
+    rows = []
+    perf_cells = aggregate(perf)
+    mosi_mean = {}
+    for cell in perf_cells:
+        if cell.cell.get("protocol", "mosi") == "mosi" \
+                and cell.cell.get("arbiter", "fifo") == "fifo":
+            mosi_mean[shape(cell)] = cell.metrics["cycles"].mean
+    for cell in perf_cells:
+        cycles = cell.metrics["cycles"]
+        baseline = mosi_mean.get(shape(cell))
+        rel = cycles.mean / baseline if baseline else float("nan")
+        rows.append((
+            shape(cell), cell.cell.get("protocol", "mosi"),
+            cell.cell.get("arbiter", "fifo"),
+            f"{cycles.mean:,.0f} +- {cycles.ci95:,.0f}",
+            f"{rel:.3f}",
+        ))
+    print(format_table(
+        ["shape", "protocol", "arbiter", "cycles (95% CI)", "vs mosi/fifo"],
+        rows,
+        title="Protocol x arbiter performance (fault-free, Fig. 5 logic)",
+    ))
+
+    rows = []
+    for cell in aggregate(faulted):
+        rec = cell.metrics["recoveries"]
+        lost = cell.metrics["lost_instructions"]
+        cycles = cell.metrics["cycles"]
+        rows.append((
+            shape(cell), cell.cell.get("protocol", "mosi"),
+            cell.cell.get("arbiter", "fifo"),
+            f"{rec.mean:.1f}",
+            f"{lost.mean:,.0f}",
+            f"{cycles.mean:,.0f}",
+        ))
+    print(format_table(
+        ["shape", "protocol", "arbiter", "recoveries", "instr re-exec",
+         "cycles"],
+        rows,
+        title="Recovery cost under a transient fault (per-cell means)",
+    ))
+
+    # The refactor's headline claim, asserted, not just printed: the E
+    # state converts networked upgrades into silent ones, so mesi must
+    # not be slower than mosi beyond noise on this store-heavy mix.
+    by_key = {(shape(c), c.cell.get("protocol", "mosi"),
+               c.cell.get("arbiter", "fifo")): c for c in perf_cells}
+    for shp in sorted({k[0] for k in by_key}):
+        mosi = by_key[(shp, "mosi", "fifo")].metrics["cycles"].mean
+        mesi = by_key[(shp, "mesi", "fifo")].metrics["cycles"].mean
+        assert mesi < mosi * 1.02, \
+            f"mesi lost its silent-upgrade win at {shp}: {mesi} vs {mosi}"
+        print(f"{shp}: mesi runs at {mesi / mosi:.3f}x mosi cycles "
+              "(silent E->M upgrades replacing GETM round-trips)")
+
+    print("\nCheckpoint participants are protocol-agnostic, so recovery "
+          "cost stays in one regime across protocols; the protocol axis "
+          "moves the *fault-free* cost, which is exactly the paper's "
+          "availability argument generalised.")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,7 +37,9 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import format_table
+from repro.coherence.protocol import PROTOCOL_NAMES
 from repro.config import SystemConfig, parse_shape
+from repro.interconnect.arbiter import ARBITER_NAMES
 from repro.experiments import (
     BACKEND_NAMES,
     AttemptJournal,
@@ -86,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--torus", default=None, metavar="WxH",
                        help="machine shape, e.g. 2x2, 4x8, 8x8 "
                             "(default: the preset's own 4x4)")
+        p.add_argument("--protocol", choices=PROTOCOL_NAMES, default=None,
+                       help="coherence protocol (default: mosi); also a "
+                            "sweep axis, --grid protocol=mosi,mesi,moesi")
+        p.add_argument("--arbiter", choices=ARBITER_NAMES, default=None,
+                       help="network arbitration policy (default: fifo); "
+                            "also a sweep axis, --grid arbiter=fifo,wrr")
         p.add_argument("--fault", choices=FAULTS, default="none")
         p.add_argument("--period", type=int, default=period,
                        help="cycles between transient faults")
@@ -249,6 +257,8 @@ def _spec_from_args(args, *, seed: Optional[int] = None) -> RunSpec:
         safetynet=not args.unprotected,
         interval=args.interval,
         clb_bytes=args.clb_kb * 1024 if args.clb_kb is not None else None,
+        protocol=args.protocol,
+        arbiter=args.arbiter,
         fault=args.fault,
         fault_period=args.period,
         fault_at=args.fault_at,
@@ -388,11 +398,21 @@ def cmd_sweep_status(args, out) -> int:
             r.spec.cell_hash for r in orphans
         } - manifest.cell_hashes()
         pending = manifest.missing_hashes(store)
+        protocols = sorted({p for c in manifest.campaigns
+                            for p in c.protocols})
+        arbiters = sorted({a for c in manifest.campaigns
+                           for a in c.arbiters})
         rows += [
             ("manifest", manifest.path),
             ("manifest campaigns", len(manifest.campaigns)),
             ("manifest runs", f"{len(manifest.spec_hashes())} "
                               f"({len(pending)} pending)"),
+        ]
+        if protocols:
+            rows.append(("manifest protocols", ", ".join(protocols)))
+        if arbiters:
+            rows.append(("manifest arbiters", ", ".join(arbiters)))
+        rows += [
             # Records no recorded campaign accounts for: candidates for
             # store garbage collection (ROADMAP store-lifecycle item).
             ("unmanifested runs", len(orphans)),
@@ -684,6 +704,13 @@ def cmd_profile(args, out) -> int:
               f"({net['hops_per_dispatch']:.2f} hops/dispatch, "
               f"{net['express_hop_fraction']:.1%} express, "
               f"{net['express_interrupts']:,} interrupts)", file=out)
+    coh = report.coherence
+    if coh:
+        print(f"coherence: {coh['protocol']} filled {coh['fill_e']:,} "
+              f"blocks E, {coh['silent_upgrades']:,} silent upgrades "
+              f"({coh['silent_upgrade_fraction']:.1%} of store upgrades), "
+              f"{coh['writebacks_avoided']:,} writebacks avoided, "
+              f"{coh['downgrades']:,} owner downgrades", file=out)
     queue = report.queue
     if queue.get("core") == "calendar":
         print(f"queue: calendar width={queue['width']:,} "

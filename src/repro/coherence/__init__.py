@@ -1,4 +1,4 @@
-"""MOSI directory cache-coherence protocol (SGI-Origin-like).
+"""Directory cache-coherence protocols (SGI-Origin-like MOSI lineage).
 
 The paper layers SafetyNet on "a typical MOSI directory protocol" with
 three changes (paper §3.7): data responses carry the checkpoint number of
@@ -11,6 +11,10 @@ block, queueing (bounded) or NACKing requests that arrive while a
 transaction is open.  This is the same class of simplification the
 Origin's busy states make, and it keeps every race window closed enough
 to verify recovery consistency exactly.
+
+Which protocol the controllers speak (mosi / mesi / moesi) is a
+:class:`~repro.coherence.protocol.CoherenceProtocol` chosen through the
+``PROTOCOLS`` registry; checkpoint/recovery machinery is shared by all.
 """
 
 from repro.coherence.state import (
@@ -22,6 +26,12 @@ from repro.coherence.state import (
 )
 from repro.coherence.cache import CacheController
 from repro.coherence.directory import MemoryController
+from repro.coherence.protocol import (
+    CoherenceProtocol,
+    PROTOCOL_NAMES,
+    PROTOCOLS,
+    resolve_protocol,
+)
 
 __all__ = [
     "CacheBlock",
@@ -31,4 +41,8 @@ __all__ = [
     "ProtocolError",
     "CacheController",
     "MemoryController",
+    "CoherenceProtocol",
+    "PROTOCOLS",
+    "PROTOCOL_NAMES",
+    "resolve_protocol",
 ]

@@ -22,6 +22,8 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
+from repro.coherence.protocol import (CoherenceProtocol, NULL_COUNTER,
+                                      resolve_protocol)
 from repro.coherence.state import CacheBlock, CacheState, ProtocolError
 from repro.core.clb import CheckpointLogBuffer
 from repro.interconnect.messages import Message, MessageKind
@@ -36,12 +38,21 @@ FaultFn = Callable[[str], None]
 _txn_counter = itertools.count(1)
 
 
+def reset_txn_ids() -> None:
+    """Rewind the process-global transaction-id stream (see
+    ``messages.reset_msg_ids`` — same determinism contract: txn ids
+    appear in timeout/livelock crash strings, so runs must not inherit
+    the process's prior counter state)."""
+    global _txn_counter
+    _txn_counter = itertools.count(1)
+
+
 class Mshr:
     """One outstanding transaction (transient coherence state)."""
 
     __slots__ = (
         "addr",
-        "kind",            # "GETS" | "GETM" | "UPGRADE" | "PUTM"
+        "kind",            # "GETS" | "GETM" | "UPGRADE" | "PUTM" | "PUTE"
         "is_store",
         "value",
         "txn_id",
@@ -76,7 +87,7 @@ class Mshr:
         self.retries = 0
 
     def satisfied(self) -> bool:
-        if self.kind == "PUTM":
+        if self.kind in ("PUTM", "PUTE"):
             return False  # closed by WB_ACK/WB_STALE directly
         if self.acks_needed is None:
             return False
@@ -102,6 +113,7 @@ class CacheController:
         stats: StatsRegistry,
         home_of: Callable[[int], int],
         on_fault: FaultFn,
+        protocol: Optional[CoherenceProtocol] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -111,6 +123,10 @@ class CacheController:
         self.stats = stats
         self.home_of = home_of
         self.on_fault = on_fault
+        self.protocol = (protocol if protocol is not None
+                         else resolve_protocol(config.protocol))
+        # Hot-path alias (read per store in the burst fast path).
+        self._silent_upgrade = self.protocol.silent_upgrade_states
 
         self.ccn = 1
         self.rpcn = 1
@@ -140,7 +156,7 @@ class CacheController:
         self.mshrs: Dict[int, Mshr] = {}
         self.wb_buffer: Dict[int, CacheBlock] = {}
         self.wb_txns: Dict[int, Mshr] = {}      # addr -> PUTM mshr
-        self._stalled_fwds: List[Message] = []
+        self._stalled_fwds: List[Tuple[Message, bool]] = []
 
         ns = f"node{node_id}.cache"
         self.c_loads = stats.counter(f"{ns}.loads")
@@ -159,6 +175,19 @@ class CacheController:
         self.c_timeouts = stats.counter(f"{ns}.timeouts")
         self.c_recovery_overflow = stats.counter(f"{ns}.recovery_set_overflow")
         self.bw = stats.meter(f"{ns}.bw")
+        # E-state transition counters: registered only for protocols that
+        # have an E state, because the stats snapshot reports every
+        # registered counter — unconditional registration would change the
+        # default (mosi) run's counter set and break seed bit-identity.
+        if self.protocol.has_exclusive:
+            cns = f"node{node_id}.coh"
+            self.c_fill_e = stats.counter(f"{cns}.fill_e")
+            self.c_silent_upgrade = stats.counter(f"{cns}.silent_upgrade")
+            self.c_clean_evict = stats.counter(f"{cns}.clean_evict")
+            self.c_downgrade = stats.counter(f"{cns}.downgrade")
+        else:
+            self.c_fill_e = self.c_silent_upgrade = NULL_COUNTER
+            self.c_clean_evict = self.c_downgrade = NULL_COUNTER
 
     # ------------------------------------------------------------------
     # Cache array helpers
@@ -240,7 +269,9 @@ class CacheController:
 
         Returns ("hit", extra_cycles), ("throttle", retry_delay) when a
         store must wait for CLB space, or ("miss", 0).
-        Loads hit in M/O/S; stores hit only in M (O and S need upgrades).
+        Loads hit in any valid state; stores hit only in M — plus the
+        protocol's silent-upgrade states (E under mesi/moesi: the store
+        upgrades E→M with no network transaction).
         """
         block = self.lookup(addr)
         if block is None:
@@ -255,6 +286,13 @@ class CacheController:
             if status[0] == "clb_full":
                 self.c_store_throttles.add()
                 return ("throttle", self.config.store_throttle_delay)
+            return ("hit", status[1])
+        if block.state in self._silent_upgrade:
+            status = self._apply_store(block, value)
+            if status[0] == "clb_full":
+                self.c_store_throttles.add()
+                return ("throttle", self.config.store_throttle_delay)
+            self.c_silent_upgrade.add()
             return ("hit", status[1])
         return ("miss", 0)
 
@@ -376,20 +414,32 @@ class CacheController:
         return min(candidates, key=lambda b: b.lru)
 
     def _start_writeback(self, victim: CacheBlock, bucket: Dict[int, CacheBlock]) -> bool:
+        # A clean-exclusive victim returns ownership without the data
+        # payload: PUTE is control-sized, and the home's memory copy is
+        # already current.  The transfer-logging rule still applies (the
+        # home's undo record restores owner=this-node, so the cache must
+        # be able to restore the block on recovery).
+        clean = victim.state == CacheState.EXCLUSIVE
         ok, out_cn = self._transfer_out(victim)
         if not ok:
             return False  # CLB full; fill will retry
         del bucket[victim.addr]
         self.wb_buffer[victim.addr] = victim
         txn_id = next(_txn_counter)
-        mshr = Mshr(victim.addr, "PUTM", False, None, txn_id, self.ccn,
-                    self.sim.now, None)
+        mshr = Mshr(victim.addr, "PUTE" if clean else "PUTM", False, None,
+                    txn_id, self.ccn, self.sim.now, None)
         self.wb_txns[victim.addr] = mshr
-        self.c_writebacks.add()
-        self.network.send(
-            Message(MessageKind.PUTM, src=self.node_id, dst=self.home_of(victim.addr),
-                    addr=victim.addr, txn_id=txn_id, cn=out_cn, data=victim.data)
-        )
+        if clean:
+            self.c_clean_evict.add()
+            msg = Message(MessageKind.PUTE, src=self.node_id,
+                          dst=self.home_of(victim.addr), addr=victim.addr,
+                          txn_id=txn_id, cn=out_cn)
+        else:
+            self.c_writebacks.add()
+            msg = Message(MessageKind.PUTM, src=self.node_id,
+                          dst=self.home_of(victim.addr), addr=victim.addr,
+                          txn_id=txn_id, cn=out_cn, data=victim.data)
+        self.network.send(msg)
         self._arm_timeout(mshr)
         return True
 
@@ -477,8 +527,16 @@ class CacheController:
         if not mshr.satisfied():
             return
         if mshr.data_received:
-            state = CacheState.MODIFIED if mshr.grant == "M" else CacheState.SHARED
+            grant = mshr.grant
+            if grant == "M":
+                state = CacheState.MODIFIED
+            elif grant == "E":
+                state = CacheState.EXCLUSIVE
+            else:
+                state = CacheState.SHARED
             block = self._install(mshr.addr, state, mshr.data, mshr.data_cn)
+            if block is not None and grant == "E":
+                self.c_fill_e.add()
             if block is None:
                 # No way free (eviction blocked on CLB space); retry soon.
                 epoch = self.epoch
@@ -577,7 +635,7 @@ class CacheController:
                 # (deadlock-free: earlier checkpoints can still validate,
                 # and the watchdog recovery is the backstop).
                 self.c_fwd_stalls.add()
-                self._stalled_fwds.append(msg)
+                self._stalled_fwds.append((msg, True))
                 return
             requestor = msg.payload["requestor"]
             self.network.send(
@@ -591,11 +649,41 @@ class CacheController:
             bucket = self._set_of(msg.addr)
             if msg.addr in bucket:
                 del bucket[msg.addr]
+        elif self.protocol.copyback_on_read:
+            # MESI read-forward: no O state exists, so the owner cannot
+            # keep serving the block — it logs the ownership transfer,
+            # returns data + CN to the home (COPYBACK; the home holds the
+            # transaction open until both this and the requestor's
+            # FINAL_ACK arrive), keeps a shared copy, and the home becomes
+            # owner again.
+            ok, out_cn = self._transfer_out(block)
+            if not ok:
+                self.c_fwd_stalls.add()
+                self._stalled_fwds.append((msg, False))
+                return
+            self.c_downgrade.add()
+            block.state = CacheState.SHARED
+            requestor = msg.payload["requestor"]
+            self.network.send(
+                Message(MessageKind.DATA_OWNER, src=self.node_id, dst=requestor,
+                        addr=msg.addr, txn_id=msg.txn_id, data=block.data,
+                        cn=out_cn, grant="S")
+            )
+            self.network.send(
+                Message(MessageKind.COPYBACK, src=self.node_id,
+                        dst=self.home_of(msg.addr), addr=msg.addr,
+                        txn_id=msg.txn_id, data=block.data, cn=out_cn)
+            )
         else:
             # Read: owner keeps ownership (M -> O), no log (no transfer).
+            # Under moesi an exclusive-clean owner downgrades E -> O the
+            # same way.
             self.c_transfers_served.add()
             self.bw.add("coherence", self.config.block_size)
             if block.state == CacheState.MODIFIED:
+                block.state = CacheState.OWNED
+            elif block.state == CacheState.EXCLUSIVE:
+                self.c_downgrade.add()
                 block.state = CacheState.OWNED
             requestor = msg.payload["requestor"]
             self.network.send(
@@ -618,8 +706,8 @@ class CacheController:
         if not self._stalled_fwds:
             return
         pending, self._stalled_fwds = self._stalled_fwds, []
-        for msg in pending:
-            self._on_fwd(msg, exclusive=True)
+        for msg, exclusive in pending:
+            self._on_fwd(msg, exclusive=exclusive)
 
     # ------------------------------------------------------------------
     # SafetyNet checkpoint lifecycle (CheckpointParticipant)

@@ -17,6 +17,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.config import SystemConfig
+from repro.coherence.protocol import CoherenceProtocol, resolve_protocol
 from repro.coherence.state import DirEntry, MEMORY_OWNER, ProtocolError
 from repro.core.clb import CheckpointLogBuffer, LogEntry
 from repro.interconnect.messages import Message, MessageKind
@@ -27,9 +28,16 @@ from repro.sim.stats import StatsRegistry
 
 
 class _BusyTxn:
-    """An open transaction at the home (blocking-per-block window)."""
+    """An open transaction at the home (blocking-per-block window).
 
-    __slots__ = ("txn_id", "requestor", "kind", "log_entry", "start_interval")
+    ``needs_copyback`` marks a MESI read-forward: the window stays open
+    until *both* the requestor's FINAL_ACK and the ex-owner's COPYBACK
+    arrive (a FINAL_ACK racing ahead would otherwise let the next queued
+    request forward to the ex-owner, which is no longer the owner).
+    """
+
+    __slots__ = ("txn_id", "requestor", "kind", "log_entry",
+                 "start_interval", "final_acked", "needs_copyback")
 
     def __init__(self, txn_id: int, requestor: int, kind: MessageKind,
                  start_interval: int) -> None:
@@ -38,6 +46,8 @@ class _BusyTxn:
         self.kind = kind
         self.log_entry: Optional[LogEntry] = None  # provisional (3-hop only)
         self.start_interval = start_interval
+        self.final_acked = False
+        self.needs_copyback = False
 
 
 class MemoryController:
@@ -52,6 +62,7 @@ class MemoryController:
         clb: CheckpointLogBuffer,
         stats: StatsRegistry,
         on_fault: Optional[Callable[[str], None]] = None,
+        protocol: Optional[CoherenceProtocol] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -60,6 +71,8 @@ class MemoryController:
         self.clb = clb
         self.stats = stats
         self.on_fault = on_fault
+        self.protocol = (protocol if protocol is not None
+                         else resolve_protocol(config.protocol))
 
         self.ccn = 1
         self.rpcn = 1
@@ -143,10 +156,13 @@ class MemoryController:
     # ------------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
         kind = msg.kind
-        if kind in (MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM):
+        if kind in (MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM,
+                    MessageKind.PUTE):
             self._accept_request(msg)
         elif kind == MessageKind.FINAL_ACK:
             self._on_final_ack(msg)
+        elif kind == MessageKind.COPYBACK:
+            self._on_copyback(msg)
         else:
             raise ProtocolError(f"home got unexpected {msg}")
 
@@ -171,6 +187,8 @@ class MemoryController:
             self._process_gets(msg)
         elif msg.kind == MessageKind.GETM:
             self._process_getm(msg)
+        elif msg.kind == MessageKind.PUTE:
+            self._process_pute(msg)
         else:
             self._process_putm(msg)
 
@@ -209,6 +227,10 @@ class MemoryController:
     def _process_gets(self, msg: Message) -> None:
         addr, requestor = msg.addr, msg.src
         entry = self.dir_entry(addr)
+        if (entry.owner is MEMORY_OWNER and not entry.sharers
+                and self.protocol.exclusive_clean_fill):
+            self._process_gets_exclusive(msg, entry)
+            return
         txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
         self._open_txn(addr, txn)
         if entry.owner is MEMORY_OWNER:
@@ -222,6 +244,7 @@ class MemoryController:
         else:
             owner = entry.owner
             entry.sharers.add(requestor)
+            txn.needs_copyback = self.protocol.copyback_on_read
             self.c_forwards.add()
             epoch = self.epoch
             self.sim.schedule_after(
@@ -233,6 +256,46 @@ class MemoryController:
                 ),
                 "home.forward",
             )
+
+    def _process_gets_exclusive(self, msg: Message, entry: DirEntry) -> None:
+        """Unshared read miss under mesi/moesi: grant exclusive-clean.
+
+        Ownership transfers memory → requestor, so the home logs under
+        the same rules as a two-hop GETM (exact tag, no provisional
+        entry: the point of atomicity is here, now)."""
+        addr, requestor = msg.addr, msg.src
+        if self._needs_log(addr, self.ccn) and self.clb.is_full():
+            self.c_nacks_sent.add()
+            self.network.send(
+                Message(MessageKind.NACK, src=self.node_id, dst=requestor,
+                        addr=addr, txn_id=msg.txn_id)
+            )
+            return
+        txn = _BusyTxn(msg.txn_id, requestor, msg.kind, self.ccn)
+        self._open_txn(addr, txn)
+        if self.config.safetynet_enabled:
+            self._log_home(addr, self.ccn)
+            out_cn = self.ccn + 1
+            self.block_cn[addr] = max(self.block_cn.get(addr) or 0, out_cn)
+        else:
+            out_cn = None
+        entry.owner = requestor
+        epoch = self.epoch
+        self.sim.schedule_after(
+            self.config.memory_latency,
+            lambda: epoch == self.epoch and self._send_data_e(
+                addr, requestor, msg.txn_id, out_cn),
+            "home.mem_read",
+        )
+
+    def _send_data_e(self, addr: int, requestor: int, txn_id: int,
+                     out_cn: Optional[int]) -> None:
+        self.c_data_served.add()
+        self.network.send(
+            Message(MessageKind.DATA, src=self.node_id, dst=requestor,
+                    addr=addr, txn_id=txn_id, data=self.value_of(addr),
+                    cn=out_cn, grant="E")
+        )
 
     def _send_data_s(self, addr: int, requestor: int, txn_id: int) -> None:
         self.c_data_served.add()
@@ -387,6 +450,69 @@ class MemoryController:
         )
 
     # ------------------------------------------------------------------
+    # PUTE (clean eviction: ownership returns, no data)
+    # ------------------------------------------------------------------
+    def _process_pute(self, msg: Message) -> None:
+        addr, sender = msg.addr, msg.src
+        entry = self.dir_entry(addr)
+        if entry.owner != sender:
+            # A FWD beat this eviction; ownership already moved on.
+            self.c_stale_writebacks.add()
+            self.network.send(
+                Message(MessageKind.WB_STALE, src=self.node_id, dst=sender,
+                        addr=addr, txn_id=msg.txn_id)
+            )
+            return
+        tag = (msg.cn - 1) if msg.cn is not None else self.ccn
+        if self._needs_log(addr, tag) and self.clb.is_full():
+            self.c_nacks_sent.add()
+            self.network.send(
+                Message(MessageKind.NACK, src=self.node_id, dst=sender,
+                        addr=addr, txn_id=msg.txn_id)
+            )
+            return
+        self._log_home(addr, tag)
+        # The block was exclusive-clean: memory's value is already
+        # current, so only the directory changes (no memory write).
+        if msg.cn is not None:
+            self.block_cn[addr] = max(self.block_cn.get(addr) or 0, msg.cn)
+        entry.owner = MEMORY_OWNER
+        epoch = self.epoch
+        self.sim.schedule_after(
+            self.config.directory_latency,
+            lambda: epoch == self.epoch and self.network.send(
+                Message(MessageKind.WB_ACK, src=self.node_id, dst=sender,
+                        addr=addr, txn_id=msg.txn_id)
+            ),
+            "home.dir_write",
+        )
+
+    # ------------------------------------------------------------------
+    # COPYBACK (MESI read-forward: the ex-owner returns ownership home)
+    # ------------------------------------------------------------------
+    def _on_copyback(self, msg: Message) -> None:
+        txn = self.busy.get(msg.addr)
+        if txn is None or txn.txn_id != msg.txn_id:
+            return  # stale (pre-recovery) copyback
+        addr = msg.addr
+        entry = self.dir_entry(addr)
+        # The transfer's point of atomicity is owner-side (cn - 1), like
+        # a PUTM.  A copyback cannot be NACKed — the ex-owner already
+        # downgraded — so the log is taken even if the CLB is full (CLBs
+        # are sized for performance, not correctness).
+        tag = (msg.cn - 1) if msg.cn is not None else self.ccn
+        self._log_home(addr, tag)
+        self.c_writebacks.add()
+        self.values[addr] = msg.data
+        if msg.cn is not None:
+            self.block_cn[addr] = max(self.block_cn.get(addr) or 0, msg.cn)
+        if entry.owner == msg.src:
+            entry.sharers.add(msg.src)
+            entry.owner = MEMORY_OWNER
+        txn.needs_copyback = False
+        self._maybe_close_txn(addr, txn)
+
+    # ------------------------------------------------------------------
     # FINAL_ACK: transaction closes; learn the point of atomicity
     # ------------------------------------------------------------------
     def _on_final_ack(self, msg: Message) -> None:
@@ -400,11 +526,17 @@ class MemoryController:
                 self.c_retags.add()
             current = self.block_cn.get(msg.addr) or 0
             self.block_cn[msg.addr] = max(current, msg.cn)
+        txn.final_acked = True
+        self._maybe_close_txn(msg.addr, txn)
+
+    def _maybe_close_txn(self, addr: int, txn: _BusyTxn) -> None:
+        if not txn.final_acked or txn.needs_copyback:
+            return
         start_interval = txn.start_interval
-        del self.busy[msg.addr]
+        del self.busy[addr]
         if self._timeout_table is not None:
-            self._timeout_table.cancel(msg.addr)
-        self._pop_queue(msg.addr)
+            self._timeout_table.cancel(addr)
+        self._pop_queue(addr)
         # A transaction serialised in an earlier interval closed; it may
         # have been the last thing blocking sign-off of that checkpoint.
         if start_interval < self.ccn and self.on_readiness_changed is not None:

@@ -20,15 +20,28 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.coherence.protocol import (
+    CoherenceProtocol,
+    NULL_COUNTER,
+    resolve_protocol,
+)
 from repro.coherence.state import CacheBlock, CacheState, ProtocolError
 from repro.core.clb import CheckpointLogBuffer
-from repro.interconnect.messages import Message, MessageKind
+from repro.interconnect.messages import Message, MessageKind, reset_msg_ids
 from repro.interconnect.ordered import OrderedBus
 from repro.sim.deadlines import DeadlineTable
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 
 _txn_ids = itertools.count(1)
+
+
+def reset_txn_ids() -> None:
+    """Rewind the snooping txn-id stream (same determinism contract as
+    the directory variant: ids appear in fault diagnostics, so a system
+    must not inherit the process's prior counter state)."""
+    global _txn_ids
+    _txn_ids = itertools.count(1)
 
 
 def interval_of(order_index: int, requests_per_checkpoint: int) -> int:
@@ -53,6 +66,7 @@ class SnoopingCache:
         requests_per_checkpoint: int = 64,
         request_timeout: Optional[int] = None,
         on_fault: Optional[Callable[[str], None]] = None,
+        protocol: Optional[CoherenceProtocol] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -62,6 +76,8 @@ class SnoopingCache:
         self.k = requests_per_checkpoint
         self.request_timeout = request_timeout
         self.on_fault = on_fault
+        self.protocol = protocol if protocol is not None else resolve_protocol("mosi")
+        self._silent = self.protocol.silent_upgrade_states
         # Same lazy-deadline machinery as the directory variant's caches:
         # one sweep event per controller instead of one event per request.
         self._timeout_table: Optional[DeadlineTable] = (
@@ -81,6 +97,16 @@ class SnoopingCache:
         self.c_transfers_logged = stats.counter(f"{ns}.transfers_logged")
         self.c_stores_logged = stats.counter(f"{ns}.stores_logged")
         self.c_timeouts = stats.counter(f"{ns}.timeouts")
+        if self.protocol.has_exclusive:
+            self.c_fill_e = stats.counter(f"{ns}.fill_e")
+            self.c_silent_upgrade = stats.counter(f"{ns}.silent_upgrade")
+            self.c_downgrade = stats.counter(f"{ns}.downgrade")
+        else:
+            # Registering them under mosi would widen the stats snapshot
+            # and break bit-identity with the seed (see protocol module).
+            self.c_fill_e = NULL_COUNTER
+            self.c_silent_upgrade = NULL_COUNTER
+            self.c_downgrade = NULL_COUNTER
 
     # ------------------------------------------------------------------
     # SafetyNet primitives (same rules as the directory variant)
@@ -104,7 +130,12 @@ class SnoopingCache:
 
     def store(self, addr: int, value: int, done: Callable[[], None]) -> None:
         block = self.blocks.get(addr)
-        if block is not None and block.state == CacheState.MODIFIED:
+        if block is not None and (block.state == CacheState.MODIFIED
+                                  or block.state in self._silent):
+            if block.state in self._silent:
+                # Silent E->M upgrade: no bus transaction (mesi/moesi).
+                self.c_silent_upgrade.add()
+                block.state = CacheState.MODIFIED
             if self._needs_log(block):
                 self._log_block(block)
                 self.c_stores_logged.add()
@@ -159,8 +190,22 @@ class SnoopingCache:
             return
         if msg.kind == MessageKind.GETS:
             if block.is_owner():
-                # Serve the read; stay owner (M -> O).  No transfer, no log.
-                block.state = CacheState.OWNED
+                if self.protocol.copyback_on_read:
+                    # No O state (mesi): serve the read, drop to S, and
+                    # return ownership to memory.  Ownership moves at
+                    # THIS point in bus order, so the log-on-transfer
+                    # rule applies here exactly as it does for GETM.
+                    if self._needs_log(block):
+                        self._log_block(block)
+                        self.c_transfers_logged.add()
+                    self.c_downgrade.add()
+                    block.state = CacheState.SHARED
+                else:
+                    # Serve the read; stay owner (M/E -> O).  Ownership
+                    # does not move, so no transfer, no log.
+                    if block.state == CacheState.EXCLUSIVE:
+                        self.c_downgrade.add()
+                    block.state = CacheState.OWNED
                 self.bus.send_data(Message(
                     MessageKind.DATA_OWNER, src=self.node_id, dst=msg.src,
                     addr=msg.addr, txn_id=msg.txn_id, data=block.data,
@@ -187,7 +232,9 @@ class SnoopingCache:
         if self._timeout_table is not None:
             self._timeout_table.cancel(msg.addr)
         request, value, done, _issue_interval = entry
-        state = CacheState.MODIFIED if msg.grant == "M" else CacheState.SHARED
+        state = self.protocol.fill_state(msg.grant)
+        if state == CacheState.EXCLUSIVE:
+            self.c_fill_e.add()
         cn = msg.cn if (msg.cn is None or msg.cn > self.rpcn) else None
         block = CacheBlock(msg.addr, state, msg.data, cn)
         self.blocks[msg.addr] = block
@@ -260,12 +307,14 @@ class SnoopingMemory:
         clb: CheckpointLogBuffer,
         *,
         requests_per_checkpoint: int = 64,
+        protocol: Optional[CoherenceProtocol] = None,
     ) -> None:
         self.sim = sim
         self.bus = bus
         self.caches = caches
         self.clb = clb
         self.k = requests_per_checkpoint
+        self.protocol = protocol if protocol is not None else resolve_protocol("mosi")
         self.ccn = 1
         self.rpcn = 1
         self.values: Dict[int, int] = {}
@@ -287,6 +336,14 @@ class SnoopingMemory:
     def min_open_interval(self) -> Optional[int]:
         return None
 
+    def _log_change(self, addr: int, owner: Optional[int]) -> None:
+        """Log-on-change: capture the pre-change (value, owner) pair once
+        per interval, exactly like the caches' ``_log_block``."""
+        cn = self.block_cn.get(addr)
+        if cn is None or self.ccn >= cn:
+            self.clb.append(self.ccn, addr, (self.value_of(addr), owner, cn))
+            self.block_cn[addr] = self.ccn + 1
+
     def on_snoop(self, msg: Message, index: int) -> None:
         interval = interval_of(index, self.k)
         if interval > self.ccn:   # monotonic, like on_edge
@@ -297,22 +354,38 @@ class SnoopingMemory:
         owner = self.owner.get(addr)
         if msg.kind == MessageKind.GETM:
             # Log the ownership change (value is unchanged at memory).
-            cn = self.block_cn.get(addr)
-            if cn is None or self.ccn >= cn:
-                self.clb.append(self.ccn, addr,
-                                (self.value_of(addr), owner, cn))
-                self.block_cn[addr] = self.ccn + 1
+            self._log_change(addr, owner)
             self.owner[addr] = msg.src
+        elif owner is not None and owner != msg.src \
+                and self.protocol.copyback_on_read:
+            # mesi remote read: the owning cache (subscribed ahead of us,
+            # so it has already acted on this same snoop) served the data
+            # and dropped to S.  Ownership — and the current value —
+            # return to memory at this point in bus order.
+            self._log_change(addr, owner)
+            ex = self.caches[owner].blocks.get(addr)
+            if ex is not None:
+                self.values[addr] = ex.data
+            self.owner[addr] = None
+            return  # the ex-owner responded; memory stays quiet
         if owner is None or owner == msg.src:
             # No cache owner (or upgrading owner re-requesting): memory is
             # the responder.
             grant = "M" if msg.kind == MessageKind.GETM else "S"
-            out_cn = self.block_cn.get(addr) if msg.kind == MessageKind.GETM \
-                else self.block_cn.get(addr)
+            if (msg.kind == MessageKind.GETS
+                    and self.protocol.exclusive_clean_fill
+                    and not any(addr in c.blocks for c in self.caches
+                                if c.node_id != msg.src)):
+                # Nobody holds a copy: grant E.  The holder may later
+                # upgrade silently, so memory must treat the grant as an
+                # ownership transfer now (logged like a GETM's).
+                self._log_change(addr, owner)
+                self.owner[addr] = msg.src
+                grant = "E"
             self.bus.send_data(Message(
                 MessageKind.DATA, src=-1, dst=msg.src, addr=addr,
                 txn_id=msg.txn_id, data=self.value_of(addr),
-                cn=out_cn, grant=grant,
+                cn=self.block_cn.get(addr), grant=grant,
             ))
 
     def on_rpcn(self, rpcn: int) -> None:
@@ -342,17 +415,22 @@ class SnoopingSystem:
 
     def __init__(self, num_caches: int = 4, *, requests_per_checkpoint: int = 64,
                  clb_entries: int = 4096, request_timeout: Optional[int] = None,
-                 on_fault: Optional[Callable[[str], None]] = None) -> None:
+                 on_fault: Optional[Callable[[str], None]] = None,
+                 protocol: str = "mosi") -> None:
+        reset_txn_ids()
+        reset_msg_ids()
         self.sim = Simulator()
         self.stats = StatsRegistry()
         self.bus = OrderedBus(self.sim, stats=self.stats)
         self.k = requests_per_checkpoint
+        self.protocol = resolve_protocol(protocol)
         self.caches = [
             SnoopingCache(
                 self.sim, i, self.bus,
                 CheckpointLogBuffer(clb_entries, name=f"snoop{i}.clb"),
                 self.stats, requests_per_checkpoint=requests_per_checkpoint,
                 request_timeout=request_timeout, on_fault=on_fault,
+                protocol=self.protocol,
             )
             for i in range(num_caches)
         ]
@@ -360,6 +438,7 @@ class SnoopingSystem:
             self.sim, self.bus, self.caches,
             CheckpointLogBuffer(clb_entries, name="snoopmem.clb"),
             requests_per_checkpoint=requests_per_checkpoint,
+            protocol=self.protocol,
         )
 
     # ------------------------------------------------------------------
@@ -401,3 +480,16 @@ class SnoopingSystem:
                         f"{addr:#x} owned by {seen[addr]} and {cache.node_id}"
                     )
                 seen[addr] = cache.node_id
+        for cache in self.caches:
+            for addr, block in cache.blocks.items():
+                if block.state != CacheState.EXCLUSIVE:
+                    continue
+                for other in self.caches:
+                    if other is not cache and addr in other.blocks:
+                        raise AssertionError(
+                            f"{addr:#x}: E at {cache.node_id} but "
+                            f"{other.node_id} holds a copy")
+                if block.data != self.memory.value_of(addr):
+                    raise AssertionError(
+                        f"{addr:#x}: E copy diverged from memory "
+                        f"({block.data} vs {self.memory.value_of(addr)})")

@@ -11,15 +11,24 @@ class ProtocolError(RuntimeError):
 
 
 class CacheState:
-    """Stable cache states (MOSI).  Transient states live in MSHRs."""
+    """Stable cache states.  Transient states live in MSHRs.
 
-    MODIFIED = "M"   # exclusive, dirty, owner
+    The full lattice is MOESI; which states a run actually uses is the
+    protocol's decision (:mod:`repro.coherence.protocol`).  ``EXCLUSIVE``
+    only ever appears under ``mesi``/``moesi`` — the ``mosi`` oracle never
+    creates it, so the widened ``OWNER_STATES``/``VALID_STATES`` unions
+    answer membership tests identically to the pre-protocol frozensets on
+    every default run.
+    """
+
+    MODIFIED = "M"    # exclusive, dirty, owner
+    EXCLUSIVE = "E"   # exclusive, clean, owner (silent M upgrade allowed)
     OWNED = "O"      # shared, dirty, owner (serves other caches' reads)
     SHARED = "S"     # clean(-ish) copy; some owner exists elsewhere
     INVALID = "I"    # not present (represented by absence from the cache)
 
-    OWNER_STATES = frozenset(("M", "O"))
-    VALID_STATES = frozenset(("M", "O", "S"))
+    OWNER_STATES = frozenset(("M", "E", "O"))
+    VALID_STATES = frozenset(("M", "E", "O", "S"))
 
 
 # Sentinel for "memory owns the block" in directory entries.

@@ -126,6 +126,22 @@ class SystemConfig:
     nack_retry_delay: int = 400              # requestor backoff before retry
     store_throttle_delay: int = 100          # CPU backoff when CLB is full
 
+    # -- protocol / arbitration ----------------------------------------------
+    #: Coherence protocol (``repro.coherence.protocol.PROTOCOLS``).  The
+    #: default ``mosi`` is the paper's protocol and the bit-identity
+    #: oracle; ``mesi`` adds an exclusive-clean state (silent E→M
+    #: upgrades, clean evictions without writeback); ``moesi`` grafts E
+    #: onto the existing O machinery.  Checkpoint/recovery is
+    #: protocol-agnostic (see tests/test_protocols.py).
+    protocol: str = "mosi"
+    #: Network arbitration policy (``repro.interconnect.ARBITERS``).  The
+    #: default ``fifo`` keeps the historical message-id order on link
+    #: claims and end-of-cycle deliveries (the bit-identity oracle);
+    #: ``wrr`` rotates fairness across input directions per contended
+    #: cycle; ``priority`` serves coherence-class (control) messages
+    #: before data, with aging as a starvation bound.
+    arbiter: str = "fifo"
+
     def __post_init__(self) -> None:
         if self.num_processors != self.torus_width * self.torus_height:
             raise ValueError(
@@ -138,6 +154,20 @@ class SystemConfig:
             raise ValueError("need at least one outstanding checkpoint")
         if self.clb_entry_bytes < self.block_size + 8:
             raise ValueError("CLB entry must hold an address plus a block")
+        # Lazy imports: repro.coherence.cache / repro.interconnect.network
+        # import this module, so validating eagerly at module scope would
+        # be circular.
+        from repro.coherence.protocol import PROTOCOLS
+        from repro.interconnect.arbiter import ARBITERS
+
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; one of {sorted(PROTOCOLS)}"
+            )
+        if self.arbiter not in ARBITERS:
+            raise ValueError(
+                f"unknown arbiter {self.arbiter!r}; one of {sorted(ARBITERS)}"
+            )
         min_latency = self.min_network_latency
         if self.safetynet_enabled and self.max_clock_skew >= min_latency:
             raise ValueError(

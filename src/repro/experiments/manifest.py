@@ -57,6 +57,8 @@ class CampaignEntry:
     grid: Dict[str, List[Any]]
     seeds: List[int]
     shapes: List[str]                    # distinct "WxH" machine shapes
+    protocols: List[str]                 # distinct coherence protocols
+    arbiters: List[str]                  # distinct arbitration policies
     spec_hashes: List[str]
     cell_hashes: List[str]
     #: How the campaign was last *executed* (backend, retries, cell
@@ -71,6 +73,8 @@ class CampaignEntry:
         grid = {k: list(v) for k, v in sweep.grid.items()}
         seeds = sweep.seed_list()
         shapes = []
+        protocols: List[str] = []
+        arbiters: List[str] = []
         for spec in specs:
             if spec.torus_width is not None:
                 shape = f"{spec.torus_width}x{spec.torus_height}"
@@ -78,6 +82,14 @@ class CampaignEntry:
                 shape = "default"
             if shape not in shapes:
                 shapes.append(shape)
+            # None means "the SystemConfig default" (mosi / fifo); record
+            # it as such so --status can audit the axes at a glance.
+            protocol = spec.protocol if spec.protocol is not None else "default"
+            if protocol not in protocols:
+                protocols.append(protocol)
+            arbiter = spec.arbiter if spec.arbiter is not None else "default"
+            if arbiter not in arbiters:
+                arbiters.append(arbiter)
         cell_hashes: List[str] = []
         for spec in specs:
             if spec.cell_hash not in cell_hashes:
@@ -89,6 +101,8 @@ class CampaignEntry:
             grid=grid,
             seeds=seeds,
             shapes=shapes,
+            protocols=protocols,
+            arbiters=arbiters,
             spec_hashes=[s.spec_hash for s in specs],
             cell_hashes=cell_hashes,
         )
@@ -100,6 +114,8 @@ class CampaignEntry:
             "grid": self.grid,
             "seeds": self.seeds,
             "shapes": self.shapes,
+            "protocols": self.protocols,
+            "arbiters": self.arbiters,
             "spec_hashes": self.spec_hashes,
             "cell_hashes": self.cell_hashes,
         }
@@ -115,6 +131,8 @@ class CampaignEntry:
             grid={k: list(v) for k, v in data["grid"].items()},
             seeds=list(data["seeds"]),
             shapes=list(data.get("shapes", [])),
+            protocols=list(data.get("protocols", [])),
+            arbiters=list(data.get("arbiters", [])),
             spec_hashes=list(data["spec_hashes"]),
             cell_hashes=list(data.get("cell_hashes", [])),
             fabric=dict(data["fabric"]) if data.get("fabric") else None,

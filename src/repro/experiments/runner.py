@@ -55,6 +55,10 @@ def build_machine(spec: RunSpec) -> Machine:
         overrides["checkpoint_interval"] = spec.interval
     if spec.clb_bytes is not None:
         overrides["clb_size_bytes"] = spec.clb_bytes
+    if spec.protocol is not None:
+        overrides["protocol"] = spec.protocol
+    if spec.arbiter is not None:
+        overrides["arbiter"] = spec.arbiter
     if spec.torus_width is not None:
         config = SystemConfig.from_shape(
             spec.torus_width, spec.torus_height,

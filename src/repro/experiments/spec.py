@@ -38,7 +38,8 @@ PRESETS = ("sim_scaled", "paper", "tiny")
 #: RunSpec fields omitted from the canonical form while at their default.
 #: They were added after stores existed; hiding the defaults keeps every
 #: pre-existing spec hash (and therefore every ResultStore) valid.
-_OPTIONAL_CANONICAL_FIELDS = ("torus_width", "torus_height")
+_OPTIONAL_CANONICAL_FIELDS = (
+    "torus_width", "torus_height", "protocol", "arbiter")
 
 
 def _shape_changes(value) -> Dict[str, int]:
@@ -84,6 +85,11 @@ class RunSpec:
     interval: Optional[int] = None     # checkpoint-interval override (cycles)
     clb_bytes: Optional[int] = None    # CLB capacity override (bytes)
     detection_latency: int = 0
+    # Coherence protocol / network arbiter sweep axes.  None means the
+    # SystemConfig default (mosi / fifo) AND keeps the spec's canonical
+    # form — and hash — exactly as before the axes existed.
+    protocol: Optional[str] = None     # mosi | mesi | moesi
+    arbiter: Optional[str] = None      # fifo | wrr | priority
 
     # -- fault campaign ---------------------------------------------------
     fault: str = "none"
@@ -109,6 +115,21 @@ class RunSpec:
         if self.torus_width is not None and (
                 self.torus_width < 2 or self.torus_height < 2):
             raise ValueError("torus must be at least 2x2")
+        if self.protocol is not None or self.arbiter is not None:
+            # Lazy imports keep spec machinery usable without pulling in
+            # the whole coherence/network stack at module load.
+            if self.protocol is not None:
+                from repro.coherence.protocol import PROTOCOLS
+                if self.protocol not in PROTOCOLS:
+                    raise ValueError(
+                        f"unknown protocol {self.protocol!r}; "
+                        f"one of {sorted(PROTOCOLS)}")
+            if self.arbiter is not None:
+                from repro.interconnect.arbiter import ARBITERS
+                if self.arbiter not in ARBITERS:
+                    raise ValueError(
+                        f"unknown arbiter {self.arbiter!r}; "
+                        f"one of {sorted(ARBITERS)}")
         # Normalise the override tuple so field order never affects the hash.
         object.__setattr__(
             self, "config_overrides",

@@ -12,6 +12,12 @@ from repro.interconnect.messages import Message, MessageKind
 from repro.interconnect.topology import HalfSwitchId, TorusTopology
 from repro.interconnect.routing import RoutingTable
 from repro.interconnect.network import Network
+from repro.interconnect.arbiter import (
+    ARBITER_NAMES,
+    ARBITERS,
+    ArbiterPolicy,
+    resolve_arbiter,
+)
 from repro.interconnect.faults import DropMessageFault, KillSwitchFault
 
 __all__ = [
@@ -21,6 +27,10 @@ __all__ = [
     "TorusTopology",
     "RoutingTable",
     "Network",
+    "ARBITERS",
+    "ARBITER_NAMES",
+    "ArbiterPolicy",
+    "resolve_arbiter",
     "DropMessageFault",
     "KillSwitchFault",
 ]

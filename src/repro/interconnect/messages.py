@@ -21,6 +21,7 @@ class MessageKind(enum.Enum):
     GETS = enum.auto()
     GETM = enum.auto()
     PUTM = enum.auto()
+    PUTE = enum.auto()          # clean eviction of an E block (no data payload)
     # home -> cache
     DATA = enum.auto()          # data response from memory (carries CN)
     FWD_GETS = enum.auto()      # forward read to the owning cache
@@ -35,20 +36,35 @@ class MessageKind(enum.Enum):
     INV_ACK = enum.auto()       # sharer invalidated; sent to the requestor
     # cache -> home
     FINAL_ACK = enum.auto()     # transaction complete; carries atomicity CN
+    COPYBACK = enum.auto()      # MESI read-forward: ex-owner returns data+CN home
     # SafetyNet validation coordination (over the interconnect)
     VALIDATE_READY = enum.auto()    # component -> service controller
     RPCN_BROADCAST = enum.auto()    # service controller -> component
 
 
 # Message kinds that carry a 64-byte data block (everything else is control).
-DATA_KINDS = frozenset({MessageKind.DATA, MessageKind.DATA_OWNER, MessageKind.PUTM})
+DATA_KINDS = frozenset({MessageKind.DATA, MessageKind.DATA_OWNER,
+                        MessageKind.PUTM, MessageKind.COPYBACK})
 
 # Kinds belonging to the coherence protocol (vs. SafetyNet coordination).
 COHERENCE_REQUEST_KINDS = frozenset(
-    {MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM}
+    {MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM, MessageKind.PUTE}
 )
 
 _msg_ids = itertools.count()
+
+
+def reset_msg_ids() -> None:
+    """Rewind the process-global message-id stream.
+
+    Machine and SnoopingSystem call this at construction so a run's ids
+    — which leak into crash-reason diagnostics and timeout fault strings
+    — depend only on (config, workload, seed), never on what else the
+    process happened to run first.  Ids only need to be unique within
+    one network, so per-run rewinding is safe.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count()
 
 
 @dataclass

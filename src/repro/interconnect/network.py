@@ -48,6 +48,11 @@ import sys
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.interconnect.arbiter import (
+    ArbiterPolicy,
+    classify_direction,
+    resolve_arbiter,
+)
 from repro.interconnect.messages import Message
 from repro.interconnect.routing import RoutingTable
 from repro.interconnect.topology import HalfSwitchId, TorusTopology, Vertex
@@ -159,6 +164,7 @@ class Network:
         buffer_capacity: int = 64,
         slotted: bool = True,
         express: bool = True,
+        arbiter: "str | ArbiterPolicy" = "fifo",
         name: str = "net",
     ) -> None:
         self.sim = sim
@@ -172,6 +178,13 @@ class Network:
         self.slotted = slotted
         self.express = bool(express and slotted)
         self._name = name
+        # Arbitration policy for same-cycle ties (link claims, delivery
+        # order).  ``fifo`` keeps the inline message-id sorts below —
+        # the arbiter object is never consulted on the default path.
+        self.arbiter = (arbiter if isinstance(arbiter, ArbiterPolicy)
+                        else resolve_arbiter(arbiter))
+        self._arb_fifo = self.arbiter.is_fifo
+        self._arb_note = self.arbiter.note_delivery
 
         self._endpoints: Dict[int, DeliverFn] = {}
         self._link_free: Dict[Tuple[Vertex, Vertex], int] = {}
@@ -454,7 +467,10 @@ class Network:
             member = member.claim_next
         old_total = sum(m.claim_start - now for m in chain)
         chain.append(flight)
-        chain.sort(key=lambda m: m.mid)
+        if self._arb_fifo:
+            chain.sort(key=lambda m: m.mid)
+        else:
+            self.arbiter.order_chain(link, chain, now, self._input_direction)
         base = head.claim_base
         start = now if base <= now else base
         new_total = 0
@@ -481,6 +497,15 @@ class Network:
         self._claim_head[link] = chain[0]
         if new_total != old_total:
             self.c_contention_cycles.add(new_total - old_total)
+
+    def _input_direction(self, flight: _Flight) -> str:
+        """Input direction of a chain member at its current vertex (the
+        non-fifo arbiters' classification key)."""
+        index = flight.index
+        prev = flight.path[index - 1] if index > 0 else None
+        return classify_direction(
+            prev, flight.path[index],
+            self.topology.width, self.topology.height)
 
     def _finish_claim(self, flight: _Flight, here: Vertex,
                       start: int) -> None:
@@ -783,12 +808,17 @@ class Network:
             return
         self._deliver_ready = []
         if len(ready) > 1:
-            ready.sort(key=lambda m: m.msg_id)
+            if self._arb_fifo:
+                ready.sort(key=lambda m: m.msg_id)
+            else:
+                self.arbiter.order_deliveries(ready)
         for msg in ready:
             self._deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
         self.c_messages_delivered.add()
+        if self._arb_note is not None:
+            self._arb_note(msg)
         # A misrouting fault sends the message to the wrong endpoint,
         # where the paper's illegal-message detection catches it.
         target = msg.payload.get("misrouted_to", msg.dst)
@@ -874,4 +904,5 @@ class Network:
         self._deliver_ready.clear()
         self._deliver_cycle = -1
         self._claim_head.clear()
+        self.arbiter.reset()
         return count

@@ -191,6 +191,7 @@ class Core:
         ccn = cache.ccn                      # stable within one event
         logging_on = cache.config.safetynet_enabled
         modified = CacheState.MODIFIED
+        silent = cache._silent_upgrade       # E under mesi/moesi, else empty
         op = self.workload.op_packed
         nid = self.node_id
         store_tag = (nid + 1) << 44          # _store_value's node component
@@ -265,6 +266,22 @@ class Core:
                         t = t_issue + extra
                         continue
                     # CLB full: the paper's CPU-throttling backpressure.
+                    flush()
+                    self.c_store_stall_cycles.add(extra)
+                    self._schedule_burst((t_issue - sim.now) + extra)
+                    return
+                if block.state in silent:
+                    # Silent E→M upgrade: a store hit with no network
+                    # transaction (mirrors fast_access's branch).
+                    value = store_tag ^ position
+                    status, extra = cache._store_hit_logged(block, value)
+                    if status == "hit":
+                        cache.c_silent_upgrade.add()
+                        registers[position & 7] ^= value
+                        position += gap + 1
+                        executed += gap + 1
+                        t = t_issue + extra
+                        continue
                     flush()
                     self.c_store_stall_cycles.add(extra)
                     self._schedule_burst((t_issue - sim.now) + extra)

@@ -176,6 +176,10 @@ class ProfileReport:
     #: mix, promotion and resize counts, free-list hit rate.  For the
     #: heap core, just the core name and the pending high-water mark.
     queue: Dict[str, Any] = field(default_factory=dict)
+    #: Coherence-protocol efficiency (see coherence_efficiency): E fills,
+    #: silent-upgrade fraction, writebacks avoided vs mosi.  Empty for
+    #: protocols without an E state.
+    coherence: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -193,6 +197,7 @@ class ProfileReport:
             "hot_functions": self.functions,
             "network": self.network,
             "queue": self.queue,
+            "coherence": self.coherence,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -229,6 +234,7 @@ def profile_spec(spec, *, use_cprofile: bool = True,
     wall = perf_counter() - started
     network = network_efficiency(machine, dispatch)
     queue = queue_health(machine.sim)
+    coherence = coherence_efficiency(machine)
     return ProfileReport(
         spec=spec.canonical(),
         wall_seconds=wall,
@@ -242,6 +248,7 @@ def profile_spec(spec, *, use_cprofile: bool = True,
         functions=hot_functions(prof, top_functions) if prof is not None else [],
         network=network,
         queue=queue,
+        coherence=coherence,
     )
 
 
@@ -258,6 +265,41 @@ def queue_health(sim) -> Dict[str, Any]:
     if health is not None:
         return health()
     return {"core": "heap", "peak_pending": sim.peak_pending}
+
+
+def coherence_efficiency(machine) -> Dict[str, Any]:
+    """Coherence-protocol efficiency of one profiled run.
+
+    Totals the per-node ``coh.*`` transition counters: E fills, silent
+    E->M upgrades, clean evictions, and owner downgrades on remote
+    reads.  ``silent_upgrade_fraction`` is the share of all store
+    upgrades that needed no network transaction, and
+    ``writebacks_avoided`` counts the clean (PUTE) evictions that a MOSI
+    run would have shipped as data writebacks.  Empty for protocols
+    without an E state (mosi registers no coh counters at all, which is
+    what keeps the default run's stats snapshot bit-identical).
+    """
+    nodes = getattr(machine, "nodes", None)
+    if not nodes:
+        return {}
+    protocol = getattr(nodes[0].cache, "protocol", None)
+    if protocol is None or not protocol.has_exclusive:
+        return {}
+    fill_e = sum(n.cache.c_fill_e.value for n in nodes)
+    silent = sum(n.cache.c_silent_upgrade.value for n in nodes)
+    networked = sum(n.cache.c_upgrades.value for n in nodes)
+    clean = sum(n.cache.c_clean_evict.value for n in nodes)
+    downgrades = sum(n.cache.c_downgrade.value for n in nodes)
+    upgrades = silent + networked
+    return {
+        "protocol": protocol.name,
+        "fill_e": fill_e,
+        "silent_upgrades": silent,
+        "networked_upgrades": networked,
+        "silent_upgrade_fraction": (silent / upgrades if upgrades else 0.0),
+        "writebacks_avoided": clean,
+        "downgrades": downgrades,
+    }
 
 
 def network_efficiency(machine, dispatch: DispatchProfile) -> Dict[str, Any]:

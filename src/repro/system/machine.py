@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.checkpoint import ServiceControllers
+from repro.coherence.cache import reset_txn_ids
+from repro.coherence.protocol import resolve_protocol
+from repro.coherence.state import CacheState
 from repro.config import SystemConfig
 from repro.core.clock import CheckpointClock
 from repro.core.recovery import RecoveryManager
@@ -28,6 +31,7 @@ from repro.detection.checker import MessageChecker
 from repro.detection.codes import CRC16, ErrorCode
 from repro.detection.faults import CorruptMessageFault, MisrouteMessageFault
 from repro.interconnect.faults import DropMessageFault, KillSwitchFault
+from repro.interconnect.messages import reset_msg_ids
 from repro.interconnect.network import Network
 from repro.interconnect.routing import RoutingTable
 from repro.interconnect.topology import HalfSwitchId, TorusTopology
@@ -77,8 +81,15 @@ class Machine:
         self.config = config
         self.workload = workload
         self.seed = seed
+        # Rewind the process-global id streams: txn/msg ids leak into
+        # crash-reason strings, so a run's outcome must not depend on
+        # what else this process simulated first (golden replays, pool
+        # workers reusing processes, retried fabric cells).
+        reset_txn_ids()
+        reset_msg_ids()
         self.sim = make_kernel("calendar" if config.calendar_kernel else "heap")
         self.stats = StatsRegistry()
+        self.protocol = resolve_protocol(config.protocol)
         rngs = {"skew": DeterministicRng(seed * 7919 + 1),
                 "external": DeterministicRng(seed * 104729 + 2)}
 
@@ -94,6 +105,7 @@ class Machine:
             buffer_capacity=config.switch_buffer_messages,
             slotted=slotted_network,
             express=config.express_hops,
+            arbiter=config.arbiter,
         )
 
         # --- logical time -------------------------------------------------
@@ -152,6 +164,7 @@ class Machine:
                     if node_id == controller_node
                     else None
                 ),
+                protocol=self.protocol,
             )
             self.nodes.append(node)
             if error_code is not None:
@@ -451,4 +464,27 @@ class Machine:
                     raise AssertionError(
                         f"{addr:#x}: dir says node {entry.owner}, "
                         f"actual owner {actual}"
+                    )
+        # E-state invariants (mesi/moesi): an exclusive-clean copy is the
+        # only copy anywhere, and its data matches the home memory image
+        # (E is clean by definition — a divergence means a store skipped
+        # the silent-upgrade path).
+        for node in self.nodes:
+            for block in node.cache.resident_blocks():
+                if block.state != CacheState.EXCLUSIVE:
+                    continue
+                addr = block.addr
+                for other in self.nodes:
+                    if other is node:
+                        continue
+                    if other.cache.lookup(addr) is not None:
+                        raise AssertionError(
+                            f"{addr:#x}: E at node {node.node_id} but node "
+                            f"{other.node_id} also holds a copy"
+                        )
+                home_value = self.nodes[self.home_of(addr)].home.value_of(addr)
+                if block.data != home_value:
+                    raise AssertionError(
+                        f"{addr:#x}: E copy diverged from memory "
+                        f"({block.data} != {home_value})"
                     )

@@ -24,7 +24,8 @@ from repro.sim.rng import DeterministicRng
 from repro.sim.stats import StatsRegistry
 
 _HOME_KINDS = frozenset(
-    {MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM, MessageKind.FINAL_ACK}
+    {MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM, MessageKind.PUTE,
+     MessageKind.FINAL_ACK, MessageKind.COPYBACK}
 )
 
 
@@ -101,6 +102,7 @@ class Node:
         on_target_reached: Optional[Callable[[int], None]] = None,
         io_hooks_factory: Optional[Callable[["Node"], Optional[IoHooks]]] = None,
         on_validate_ready=None,
+        protocol=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -113,11 +115,12 @@ class Node:
             max(1, config.clb_entries), name=f"node{node_id}.home_clb"
         )
         self.cache = CacheController(
-            sim, node_id, config, network, self.cache_clb, stats, home_of, on_fault
+            sim, node_id, config, network, self.cache_clb, stats, home_of,
+            on_fault, protocol=protocol,
         )
         self.home = MemoryController(
             sim, node_id, config, network, self.home_clb, stats,
-            on_fault=on_fault,
+            on_fault=on_fault, protocol=protocol,
         )
         self.commit: Optional[OutputCommitBuffer] = None
         self.input_log: Optional[InputLog] = None

@@ -1,0 +1,89 @@
+"""Regenerate the MOSI golden baselines for tests/test_protocols.py.
+
+The protocol refactor's acceptance bar is *bit identity*: a default
+(``protocol=mosi``, ``arbiter=fifo``) run must produce exactly the
+RunResult fields, every registered counter, and the kernel dispatch
+count that the pre-refactor code produced.  Those baselines cannot be
+recomputed after the refactor (the pre-refactor code is gone), so they
+are captured here as data: this script ran against the last pre-refactor
+commit and wrote ``tests/data/protocol_golden.json``, which the
+equivalence suite replays forever after.
+
+Re-run only to *extend* the matrix (new shapes/faults/seeds), never to
+"refresh" baselines after a divergence — that would turn the oracle into
+a mirror.
+
+    PYTHONPATH=src python tests/gen_protocol_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments import RunSpec, build_machine
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "protocol_golden.json")
+
+#: The equivalence matrix: seeds x shapes x fault modes, sized so the
+#: whole golden sweep replays in well under a minute.
+GOLDEN_SPECS = [
+    RunSpec(workload=workload, instructions=2_000, warmup=0, seed=seed,
+            scale=64, torus_width=w, torus_height=h,
+            fault=fault, fault_period=period, fault_at=fault_at)
+    for workload in ("apache",)
+    for (w, h) in ((2, 2), (4, 4))
+    for seed in (1, 2)
+    for (fault, period, fault_at) in (
+        ("none", None, None),
+        ("transient", 2_500, 1_200),
+        ("switch", None, 1_500),
+    )
+] + [
+    # One jbb cell: a second workload's sharing mix on the default shape.
+    RunSpec(workload="jbb", instructions=2_000, warmup=0, seed=1, scale=64,
+            torus_width=2, torus_height=2),
+]
+
+
+def run_golden(spec: RunSpec) -> dict:
+    """One golden record: results + every counter + dispatch count."""
+    machine = build_machine(spec)
+    result = machine.run(spec.instructions, max_cycles=spec.max_cycles)
+    return {
+        "spec": spec.canonical(),
+        "spec_hash": spec.spec_hash,
+        "result": {
+            "cycles": result.cycles,
+            "committed_instructions": result.committed_instructions,
+            "target_instructions": result.target_instructions,
+            "completed": result.completed,
+            "crashed": result.crashed,
+            "crash_reason": result.crash_reason,
+            "recoveries": result.recoveries,
+            "lost_instructions": result.lost_instructions,
+            "reexecuted_instructions": result.reexecuted_instructions,
+        },
+        "counters": machine.stats.snapshot(),
+        "events_dispatched": machine.sim.events_dispatched,
+    }
+
+
+def main() -> None:
+    records = []
+    for spec in GOLDEN_SPECS:
+        record = run_golden(spec)
+        records.append(record)
+        print(f"  {spec.label():<16} fault={spec.fault:<9} "
+              f"hash={record['spec_hash']} cycles={record['result']['cycles']}")
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "records": records}, fh, indent=1,
+                  sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(records)} golden records to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,7 +42,8 @@ def test_repr_is_compact_and_informative():
 
 def test_coherence_request_kinds():
     assert COHERENCE_REQUEST_KINDS == {
-        MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM
+        MessageKind.GETS, MessageKind.GETM, MessageKind.PUTM,
+        MessageKind.PUTE,
     }
 
 
